@@ -1,0 +1,139 @@
+// Command iorsim runs the simulated IOR benchmark with the options of
+// the paper's Figure 7b and records the resulting system-call traces,
+// either as one strace-format file per rank (as strace -o would) or as a
+// consolidated STA event-log archive.
+//
+// The two runs of the paper's experiment A:
+//
+//	iorsim -ranks 96 -hosts 2 -t 1m -b 16m -s 3 -w -r -C -e -cid ssf -outdir traces/
+//	iorsim -ranks 96 -hosts 2 -t 1m -b 16m -s 3 -w -r -C -e -F -cid fpp -outdir traces/
+//
+// and experiment B's MPI-IO variant adds "-a mpiio".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stinspector"
+	"stinspector/internal/iorsim"
+	"stinspector/internal/strace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "iorsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("iorsim", flag.ContinueOnError)
+	ranks := fs.Int("ranks", 96, "number of MPI ranks")
+	hosts := fs.Int("hosts", 2, "number of hosts")
+	transfer := fs.String("t", "1m", "transfer size (-t)")
+	block := fs.String("b", "16m", "block size (-b)")
+	segments := fs.Int("s", 3, "segments (-s)")
+	write := fs.Bool("w", false, "write phase (-w)")
+	read := fs.Bool("r", false, "read phase (-r)")
+	reorder := fs.Bool("C", false, "reorder tasks: read neighbour-node data (-C)")
+	fsync := fs.Bool("e", false, "fsync after write phase (-e)")
+	fpp := fs.Bool("F", false, "file per process (-F)")
+	api := fs.String("a", "posix", "I/O interface: posix or mpiio (-a)")
+	collective := fs.Bool("c", false, "MPI-IO collective buffering (-c, requires -a mpiio)")
+	testFile := fs.String("o", "", "test file path (-o); default derived from mode")
+	cid := fs.String("cid", "ior", "command identifier for the trace file names")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	preamble := fs.Bool("preamble", true, "emit startup I/O ($SOFTWARE, $HOME, node-local)")
+	outdir := fs.String("outdir", "", "write one strace file per rank into this directory")
+	archiveOut := fs.String("archive", "", "write a consolidated .sta event-log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ts, err := parseSize(*transfer)
+	if err != nil {
+		return fmt.Errorf("-t: %w", err)
+	}
+	bs, err := parseSize(*block)
+	if err != nil {
+		return fmt.Errorf("-b: %w", err)
+	}
+	apiv, err := iorsim.ParseAPI(*api)
+	if err != nil {
+		return err
+	}
+	if *collective && apiv != iorsim.MPIIO {
+		return fmt.Errorf("-c requires -a mpiio")
+	}
+	if *outdir == "" && *archiveOut == "" {
+		return fmt.Errorf("need -outdir DIR and/or -archive FILE")
+	}
+
+	cfg := iorsim.Config{
+		CID:          *cid,
+		Ranks:        *ranks,
+		Hosts:        *hosts,
+		TransferSize: ts,
+		BlockSize:    bs,
+		Segments:     *segments,
+		Write:        *write,
+		Read:         *read,
+		ReorderTasks: *reorder,
+		Fsync:        *fsync,
+		FilePerProc:  *fpp,
+		API:          apiv,
+		Collective:   *collective,
+		TestFile:     *testFile,
+		Preamble:     *preamble,
+		Seed:         *seed,
+	}
+	res, err := iorsim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %d ranks on %d hosts: %d events, %d revocations, %d shared opens\n",
+		*ranks, *hosts, res.Log.NumEvents(), res.FS.Revocations, res.FS.SharedOpens)
+
+	if *outdir != "" {
+		if err := strace.WriteDir(*outdir, res.Log); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace files to %s\n", res.Log.NumCases(), *outdir)
+	}
+	if *archiveOut != "" {
+		if err := stinspector.WriteArchive(*archiveOut, res.Log); err != nil {
+			return err
+		}
+		fmt.Printf("wrote event-log archive %s\n", *archiveOut)
+	}
+	return nil
+}
+
+// parseSize parses IOR-style sizes: "1m", "16m", "4k", "1g", plain bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case 'm':
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	case 'g':
+		mult = 1 << 30
+		s = s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// The ls-scale figures run in microseconds; exercise the real dispatch.
+func TestRunSingleFigure(t *testing.T) {
+	for _, fig := range []string{"fig2", "fig3", "fig4", "fig5"} {
+		if err := run([]string{"-fig", fig, "-checks-only"}); err != nil {
+			t.Errorf("run(%s): %v", fig, err)
+		}
+	}
+}
+
+// The IOR figures at reduced scale keep the test fast while exercising
+// the whole path.
+func TestRunIORFigureReduced(t *testing.T) {
+	err := run([]string{"-fig", "fig8b", "-checks-only",
+		"-ranks", "16", "-hosts", "2", "-segments", "2", "-transfers", "4", "-seed", "5"})
+	if err != nil {
+		t.Errorf("run(fig8b reduced): %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Errorf("unknown figure accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stinspector"
+	"stinspector/internal/lssim"
+	"stinspector/internal/strace"
+)
+
+// demoDir writes the ls / ls -l traces into a temp directory.
+func demoDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	_, _, cx := lssim.Both(lssim.Config{})
+	if err := strace.WriteDir(dir, cx); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDFG(t *testing.T) {
+	dir := demoDir(t)
+	for _, format := range []string{"text", "dot"} {
+		if err := run([]string{"dfg", "-traces", dir, "-format", format}); err != nil {
+			t.Errorf("dfg %s: %v", format, err)
+		}
+	}
+	if err := run([]string{"dfg", "-traces", dir, "-filter", "/usr/lib", "-map", "file:2"}); err != nil {
+		t.Errorf("dfg filtered: %v", err)
+	}
+	if err := run([]string{"dfg", "-traces", dir, "-map", "env:/usr=$USR:1"}); err != nil {
+		t.Errorf("dfg env mapping: %v", err)
+	}
+	if err := run([]string{"dfg", "-traces", dir, "-calls", "write"}); err != nil {
+		t.Errorf("dfg call filter: %v", err)
+	}
+}
+
+func TestRunStatsAndInfo(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"stats", "-traces", dir}); err != nil {
+		t.Errorf("stats: %v", err)
+	}
+	if err := run([]string{"info", "-traces", dir}); err != nil {
+		t.Errorf("info: %v", err)
+	}
+	if err := run([]string{"variants", "-traces", dir}); err != nil {
+		t.Errorf("variants: %v", err)
+	}
+	if err := run([]string{"percase", "-traces", dir, "-activity", "read:/usr/lib"}); err != nil {
+		t.Errorf("percase: %v", err)
+	}
+	if err := run([]string{"percase", "-traces", dir}); err != nil {
+		t.Errorf("percase all: %v", err)
+	}
+	if err := run([]string{"dfg", "-traces", dir, "-format", "mermaid"}); err != nil {
+		t.Errorf("dfg mermaid: %v", err)
+	}
+}
+
+func TestRunDist(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"dist", "-traces", dir, "-activity", "read:/usr/lib"}); err != nil {
+		t.Errorf("dist: %v", err)
+	}
+	if err := run([]string{"dist", "-traces", dir}); err == nil {
+		t.Errorf("dist without -activity accepted")
+	}
+	if err := run([]string{"dist", "-traces", dir, "-activity", "no:such"}); err == nil {
+		t.Errorf("dist for absent activity accepted")
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"timeline", "-traces", dir, "-activity", "read:/usr/lib"}); err != nil {
+		t.Errorf("timeline: %v", err)
+	}
+	if err := run([]string{"timeline", "-traces", dir}); err == nil {
+		t.Errorf("timeline without -activity accepted")
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"compare", "-traces", dir, "-green", "a"}); err != nil {
+		t.Errorf("compare: %v", err)
+	}
+	if err := run([]string{"compare", "-traces", dir, "-green", "a", "-format", "dot", "-skip", "openat"}); err != nil {
+		t.Errorf("compare dot: %v", err)
+	}
+	if err := run([]string{"compare", "-traces", dir}); err == nil {
+		t.Errorf("compare without -green accepted")
+	}
+}
+
+func TestRunArchiveRoundTrip(t *testing.T) {
+	dir := demoDir(t)
+	sta := filepath.Join(t.TempDir(), "demo.sta")
+	if err := run([]string{"archive", "-traces", dir, "-o", sta}); err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	if _, err := os.Stat(sta); err != nil {
+		t.Fatalf("archive file missing: %v", err)
+	}
+	if err := run([]string{"dfg", "-archive", sta}); err != nil {
+		t.Errorf("dfg from archive: %v", err)
+	}
+	// Archive content is usable through the library too.
+	el, err := stinspector.ReadArchive(sta)
+	if err != nil || el.NumCases() != 6 {
+		t.Errorf("archive holds %v cases, err %v", el, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"unknown"},
+		{"dfg"},
+		{"dfg", "-traces", "x", "-archive", "y"},
+		{"dfg", "-traces", "/no/such/dir"},
+		{"dfg", "-traces", ".", "-map", "bogus"},
+		{"archive", "-traces", "."},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseMapping(t *testing.T) {
+	good := []string{"topdirs:2", "file:1", "env:/p=$P", "env:/p=$P,/q=$Q:2"}
+	for _, s := range good {
+		if _, err := parseMapping(s); err != nil {
+			t.Errorf("parseMapping(%q): %v", s, err)
+		}
+	}
+	bad := []string{"", "topdirs:x", "topdirs:0", "file:-1", "env:", "env:noequals", "wat:2"}
+	for _, s := range bad {
+		if _, err := parseMapping(s); err == nil {
+			t.Errorf("parseMapping(%q) succeeded", s)
+		}
+	}
+}
+
+func TestRunFootprint(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"footprint", "-traces", dir}); err != nil {
+		t.Errorf("footprint: %v", err)
+	}
+	if err := run([]string{"footprint", "-traces", dir, "-green", "a"}); err != nil {
+		t.Errorf("footprint diff: %v", err)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	dir := demoDir(t)
+	if err := run([]string{"report", "-traces", dir, "-title", "demo"}); err != nil {
+		t.Errorf("report: %v", err)
+	}
+	if err := run([]string{"report", "-traces", dir, "-green", "a", "-activity", "read:/usr/lib"}); err != nil {
+		t.Errorf("report with partition: %v", err)
+	}
+}

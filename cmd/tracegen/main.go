@@ -1,0 +1,54 @@
+// Command tracegen generates the paper's running-example traces: the
+// ls and ls -l commands executed by three MPI processes each (Figures 1
+// and 2), written as strace-format files whose statistics reproduce the
+// annotations of Figure 3.
+//
+//	tracegen -outdir traces/            # a_host1_*.st and b_host1_*.st
+//	tracegen -archive demo.sta          # consolidated event-log instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stinspector"
+	"stinspector/internal/lssim"
+	"stinspector/internal/strace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	outdir := fs.String("outdir", "", "write strace files into this directory")
+	archiveOut := fs.String("archive", "", "write a consolidated .sta event-log")
+	host := fs.String("host", "host1", "host name used in trace file names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *outdir == "" && *archiveOut == "" {
+		return fmt.Errorf("need -outdir DIR and/or -archive FILE")
+	}
+	_, _, cx := lssim.Both(lssim.Config{Host: *host})
+
+	if *outdir != "" {
+		if err := strace.WriteDir(*outdir, cx); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace files to %s\n", cx.NumCases(), *outdir)
+	}
+	if *archiveOut != "" {
+		if err := stinspector.WriteArchive(*archiveOut, cx); err != nil {
+			return err
+		}
+		fmt.Printf("wrote event-log archive %s (%d events)\n", *archiveOut, cx.NumEvents())
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stinspector"
+)
+
+func TestRunGeneratesDemoTraces(t *testing.T) {
+	dir := t.TempDir()
+	sta := filepath.Join(t.TempDir(), "demo.sta")
+	if err := run([]string{"-outdir", dir, "-archive", sta, "-host", "nodeZ"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("files = %d, want 6", len(entries))
+	}
+	in, err := stinspector.FromStraceDir(dir, stinspector.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if in.EventLog().NumEvents() != 75 {
+		t.Errorf("events = %d, want 75", in.EventLog().NumEvents())
+	}
+	for _, c := range in.EventLog().Cases() {
+		if c.ID.Host != "nodeZ" {
+			t.Errorf("host = %s", c.ID.Host)
+		}
+	}
+	el, err := stinspector.ReadArchive(sta)
+	if err != nil || el.NumEvents() != 75 {
+		t.Errorf("archive: %v events, err %v", el.NumEvents(), err)
+	}
+}
+
+func TestRunNeedsOutput(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Errorf("no output target accepted")
+	}
+}

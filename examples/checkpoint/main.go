@@ -1,0 +1,72 @@
+// Checkpoint-strategy comparison: a bulk-synchronous application that
+// periodically checkpoints, once with a single shared checkpoint file per
+// step and once with per-rank files. Partition coloring of the combined
+// DFG (the technique of the paper's Figure 9) highlights where the shared
+// strategy loses its time.
+//
+//	go run ./examples/checkpoint [-ranks 16 -rounds 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path"
+	"strings"
+	"time"
+
+	"stinspector"
+	"stinspector/internal/workloads"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 16, "MPI ranks")
+	rounds := flag.Int("rounds", 4, "checkpoint rounds")
+	flag.Parse()
+
+	shared, err := workloads.Checkpoint(workloads.CheckpointConfig{
+		CID: "shared", Ranks: *ranks, Rounds: *rounds, Shared: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpp, err := workloads.Checkpoint(workloads.CheckpointConfig{
+		CID: "perrank", Ranks: *ranks, Rounds: *rounds, Shared: false, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared:   %6d events, wall-clock sum %v, %d token revocations\n",
+		shared.Log.NumEvents(), time.Duration(shared.Log.TotalDur()).Round(time.Millisecond), shared.FS.Revocations)
+	fmt.Printf("per-rank: %6d events, wall-clock sum %v, %d token revocations\n\n",
+		fpp.Log.NumEvents(), time.Duration(fpp.Log.TotalDur()).Round(time.Millisecond), fpp.FS.Revocations)
+
+	union := shared.Log.Clone()
+	for _, c := range fpp.Log.Cases() {
+		if err := union.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A user-defined mapping (the flexibility Section IV's mapping
+	// abstraction provides): collapse every per-step checkpoint file
+	// into one activity per strategy, recognizable by the per-rank
+	// ".NNNNNNNN" suffix.
+	mapping := stinspector.MappingFunc(func(e stinspector.Event) (stinspector.Activity, bool) {
+		dst := "$SCRATCH/ckpt (shared file)"
+		if strings.Contains(path.Base(e.FP), ".") {
+			dst = "$SCRATCH/ckpt (file per rank)"
+		}
+		return stinspector.Activity(e.Call + ":" + dst), true
+	})
+	in := stinspector.FromEventLog(union).WithMapping(mapping)
+	full, part := in.PartitionByCID("shared")
+	st := in.Stats()
+
+	fmt.Println("--- combined DFG, green = shared-file run, red = per-rank run ---")
+	fmt.Print(stinspector.RenderText(full, st, part))
+
+	fmt.Println("\nreading the graph: both strategies share the $SCRATCH/ckpt shape;")
+	fmt.Println("the Load annotations show the shared strategy paying for contended")
+	fmt.Println("opens and write-token transfers that the per-rank strategy avoids.")
+}

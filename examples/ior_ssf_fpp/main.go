@@ -1,0 +1,75 @@
+// Single Shared File vs File Per Process (the paper's Section V-A):
+// simulate two IOR runs — all ranks writing one shared file, and each
+// rank writing its own file — then locate the contention in the DFG the
+// way Figure 8 does.
+//
+//	go run ./examples/ior_ssf_fpp [-ranks 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"stinspector"
+	"stinspector/internal/iorsim"
+)
+
+func main() {
+	ranks := flag.Int("ranks", 32, "MPI ranks per run")
+	flag.Parse()
+
+	run := func(cid string, fpp bool, baseRID int) *iorsim.Result {
+		res, err := iorsim.Run(iorsim.Config{
+			CID: cid, Ranks: *ranks, Hosts: 2, BaseRID: baseRID,
+			TransferSize: 1 << 20, BlockSize: 16 << 20, Segments: 3,
+			Write: true, Read: true, Fsync: true, ReorderTasks: true,
+			FilePerProc: fpp, Preamble: true, Seed: 42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	ssf := run("ssf", false, 40000)
+	fpp := run("fpp", true, 50000)
+	fmt.Printf("ssf run: %d events, %d token revocations, %d contended opens\n",
+		ssf.Log.NumEvents(), ssf.FS.Revocations, ssf.FS.SharedOpens)
+	fmt.Printf("fpp run: %d events, %d token revocations, %d contended opens\n\n",
+		fpp.Log.NumEvents(), fpp.FS.Revocations, fpp.FS.SharedOpens)
+
+	// Combine the runs into one event-log (192 cases in the paper) and
+	// keep the calls recorded in experiment A.
+	union := ssf.Log.Clone()
+	for _, c := range fpp.Log.Cases() {
+		if err := union.Add(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	union = union.FilterCalls("read", "write", "openat")
+
+	// Site abstraction f̄ at depth 1 separates $SCRATCH/ssf from
+	// $SCRATCH/fpp (Figure 8b).
+	site := ssf.Cfg.Site
+	mapping := stinspector.NewEnvMapping(1,
+		stinspector.PrefixVar{Prefix: site.Scratch, Var: "$SCRATCH"},
+		stinspector.PrefixVar{Prefix: site.Home, Var: "$HOME"},
+		stinspector.PrefixVar{Prefix: site.Software, Var: "$SOFTWARE"},
+		stinspector.PrefixVar{Prefix: site.NodeLocal, Var: "Node Local"},
+	)
+	in := stinspector.FromEventLog(union).FilterPath(site.Scratch).WithMapping(mapping)
+	st := in.Stats()
+
+	fmt.Println("--- DFG restricted to $SCRATCH (compare with Figure 8b) ---")
+	fmt.Print(stinspector.RenderText(in.DFG(), st, nil))
+
+	ssfOpen := st.Get("openat:$SCRATCH/ssf")
+	fppOpen := st.Get("openat:$SCRATCH/fpp")
+	ssfWrite := st.Get("write:$SCRATCH/ssf")
+	fppWrite := st.Get("write:$SCRATCH/fpp")
+	fmt.Printf("\ncontention summary:\n")
+	fmt.Printf("  openat load  ssf %.2f  vs  fpp %.2f\n", ssfOpen.RelDur, fppOpen.RelDur)
+	fmt.Printf("  write  load  ssf %.2f  vs  fpp %.2f\n", ssfWrite.RelDur, fppWrite.RelDur)
+	fmt.Printf("the shared file serializes opens and write-token transfers;\n")
+	fmt.Printf("per-process files avoid both at a small metadata cost.\n")
+}

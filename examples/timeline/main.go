@@ -1,0 +1,37 @@
+// Timeline inspection (the paper's Figure 5): extract the event
+// intervals of one activity across all processes and render them as a
+// per-case timeline, together with the max-concurrency statistic the
+// sweep computes from the same data.
+//
+//	go run ./examples/timeline [-activity read:/usr/lib]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"stinspector"
+	"stinspector/internal/lssim"
+)
+
+func main() {
+	activity := flag.String("activity", "read:/usr/lib", "activity to plot")
+	flag.Parse()
+
+	// The ls -l event-log C_b of the paper's running example.
+	cb := lssim.LSL(lssim.Config{})
+	in := stinspector.FromEventLog(cb).WithMapping(stinspector.CallTopDirs{Depth: 2})
+
+	tl := in.Timeline(stinspector.Activity(*activity))
+	fmt.Printf("timeline of %s over C_b (%d events):\n\n", *activity, len(tl))
+	fmt.Print(stinspector.RenderTimeline(tl))
+
+	mc := stinspector.MaxConcurrency(tl)
+	fmt.Printf("\nmax-concurrency mc = %d ", mc)
+	fmt.Println("(the highest number of processes inside this activity at once)")
+
+	st := in.Stats().Get(stinspector.Activity(*activity))
+	if st != nil {
+		fmt.Printf("events=%d  bytes=%d  relative duration=%.2f\n", st.Events, st.Bytes, st.RelDur)
+	}
+}

@@ -1,0 +1,232 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+func randLog(seed int64, nCases, maxEvents int) *trace.EventLog {
+	rng := rand.New(rand.NewSource(seed))
+	calls := []string{"read", "write", "openat", "lseek", "pread64", "pwrite64"}
+	paths := []string{"/usr/lib/libc.so.6", "/scratch/ssf/test", "/dev/pts/7", "/etc/passwd", ""}
+	var cases []*trace.Case
+	for i := 0; i < nCases; i++ {
+		id := trace.CaseID{CID: "arc", Host: "hostX", RID: 1000 + i}
+		n := rng.Intn(maxEvents)
+		evs := make([]trace.Event, n)
+		start := time.Duration(rng.Int63n(int64(24 * time.Hour)))
+		for j := range evs {
+			start += time.Duration(rng.Intn(100000)) * time.Nanosecond
+			evs[j] = trace.Event{
+				PID:   2000 + rng.Intn(4),
+				Call:  calls[rng.Intn(len(calls))],
+				Start: start,
+				Dur:   time.Duration(rng.Intn(1e6)) * time.Nanosecond,
+				FP:    paths[rng.Intn(len(paths))],
+				Size:  int64(rng.Intn(1<<21)) - 1,
+			}
+		}
+		cases = append(cases, trace.NewCase(id, evs))
+	}
+	return trace.MustNewEventLog(cases...)
+}
+
+func logsEqual(t *testing.T, got, want *trace.EventLog) {
+	t.Helper()
+	if got.NumCases() != want.NumCases() {
+		t.Fatalf("cases = %d, want %d", got.NumCases(), want.NumCases())
+	}
+	for _, wc := range want.Cases() {
+		gc := got.Case(wc.ID)
+		if gc == nil {
+			t.Fatalf("case %s missing", wc.ID)
+		}
+		if len(gc.Events) != len(wc.Events) {
+			t.Fatalf("case %s: %d events, want %d", wc.ID, len(gc.Events), len(wc.Events))
+		}
+		if len(wc.Events) > 0 && !reflect.DeepEqual(gc.Events, wc.Events) {
+			t.Fatalf("case %s events differ", wc.ID)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	want := randLog(1, 6, 200)
+	path := filepath.Join(t.TempDir(), "log.sta")
+	if err := WriteFile(path, want); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	logsEqual(t, got, want)
+}
+
+func TestRoundTripPropertyMany(t *testing.T) {
+	for seed := int64(2); seed < 22; seed++ {
+		want := randLog(seed, 1+int(seed)%5, 80)
+		var f bytes.Buffer
+		if err := Write(&f, want); err != nil {
+			t.Fatalf("seed %d: Write: %v", seed, err)
+		}
+		r, err := NewReader(bytes.NewReader(f.Bytes()), int64(f.Len()))
+		if err != nil {
+			t.Fatalf("seed %d: NewReader: %v", seed, err)
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("seed %d: ReadAll: %v", seed, err)
+		}
+		logsEqual(t, got, want)
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	log := randLog(5, 4, 100)
+	var a, b bytes.Buffer
+	if err := Write(&a, log); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, log); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("archive bytes are not deterministic")
+	}
+}
+
+func TestRandomAccessSingleCase(t *testing.T) {
+	want := randLog(7, 8, 150)
+	var f bytes.Buffer
+	if err := Write(&f, want); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(f.Bytes()), int64(f.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCases() != want.NumCases() {
+		t.Fatalf("NumCases = %d", r.NumCases())
+	}
+	if r.NumEvents() != want.NumEvents() {
+		t.Fatalf("NumEvents = %d, want %d", r.NumEvents(), want.NumEvents())
+	}
+	id := want.Cases()[3].ID
+	c, err := r.ReadCase(id)
+	if err != nil {
+		t.Fatalf("ReadCase: %v", err)
+	}
+	if !reflect.DeepEqual(c.Events, want.Case(id).Events) {
+		t.Errorf("single case read differs")
+	}
+	if _, err := r.ReadCase(trace.CaseID{CID: "nope", Host: "x", RID: 0}); err == nil {
+		t.Errorf("absent case read succeeded")
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	log := trace.MustNewEventLog()
+	var f bytes.Buffer
+	if err := Write(&f, log); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(f.Bytes()), int64(f.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumCases() != 0 {
+		t.Errorf("NumCases = %d", r.NumCases())
+	}
+	got, err := r.ReadAll()
+	if err != nil || got.NumCases() != 0 {
+		t.Errorf("ReadAll = %v, %v", got, err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	log := randLog(9, 3, 120)
+	var f bytes.Buffer
+	if err := Write(&f, log); err != nil {
+		t.Fatal(err)
+	}
+	orig := f.Bytes()
+
+	// Flip one byte in every position class and expect either an open
+	// error or a read error, never silent corruption.
+	flipAndCheck := func(pos int, what string) {
+		t.Helper()
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= 0xff
+		r, err := NewReader(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			return // detected at open
+		}
+		if _, err := r.ReadAll(); err == nil {
+			t.Errorf("corruption at %s (offset %d) not detected", what, pos)
+		}
+	}
+	flipAndCheck(len(magic)+4+10, "case section")
+	flipAndCheck(len(orig)-footerSize-3, "index")
+
+	// Truncations.
+	for _, cut := range []int{1, footerSize, len(orig) / 2, len(orig) - 10} {
+		trunc := orig[:len(orig)-cut]
+		r, err := NewReader(bytes.NewReader(trunc), int64(len(trunc)))
+		if err != nil {
+			continue
+		}
+		if _, err := r.ReadAll(); err == nil {
+			t.Errorf("truncation by %d bytes not detected", cut)
+		}
+	}
+
+	// Bad magics.
+	mut := append([]byte(nil), orig...)
+	copy(mut, "NOPE")
+	if _, err := NewReader(bytes.NewReader(mut), int64(len(mut))); err == nil {
+		t.Errorf("bad magic accepted")
+	}
+	mut = append([]byte(nil), orig...)
+	copy(mut[len(mut)-4:], "NOPE")
+	if _, err := NewReader(bytes.NewReader(mut), int64(len(mut))); err == nil {
+		t.Errorf("bad footer magic accepted")
+	}
+
+	// Tiny file.
+	if _, err := NewReader(bytes.NewReader(orig[:8]), 8); err == nil {
+		t.Errorf("tiny file accepted")
+	}
+}
+
+func TestUnsortedCaseRejected(t *testing.T) {
+	c := &trace.Case{ID: trace.CaseID{CID: "u", Host: "h", RID: 1}, Events: []trace.Event{
+		{CID: "u", Host: "h", RID: 1, Call: "a", Start: 2},
+		{CID: "u", Host: "h", RID: 1, Call: "b", Start: 1},
+	}}
+	log := trace.MustNewEventLog(c)
+	var f bytes.Buffer
+	if err := Write(&f, log); err == nil {
+		t.Errorf("unsorted case accepted by writer")
+	}
+}
+
+func TestCompression(t *testing.T) {
+	// Dictionary + delta encoding should make the archive much smaller
+	// than a naive fixed-width encoding (~60 bytes/event).
+	log := randLog(11, 4, 2000)
+	var f bytes.Buffer
+	if err := Write(&f, log); err != nil {
+		t.Fatal(err)
+	}
+	perEvent := float64(f.Len()) / float64(log.NumEvents())
+	if perEvent > 40 {
+		t.Errorf("encoding too large: %.1f bytes/event", perEvent)
+	}
+}

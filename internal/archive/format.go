@@ -1,0 +1,126 @@
+// Package archive implements STA, a single-file binary event-log
+// container. It stands in for the HDF5 consolidation step of the paper's
+// implementation (Section V): "each processed trace file (i.e., each
+// case) is stored in a separate group within the HDF5 file as a table"
+// whose columns are the event attributes pid, call, start, dur, fp, size,
+// with rows sorted by start timestamp.
+//
+// STA provides the same semantics with the standard library only:
+//
+//   - one section per case, holding six columns;
+//   - string columns (call, fp) are dictionary-encoded per case;
+//   - integer columns use varints, with start timestamps delta-encoded
+//     (rows are sorted, so deltas are small and non-negative);
+//   - every section and the footer index carry CRC-32 checksums, so
+//     truncation and corruption are detected;
+//   - a footer index maps case identities to section offsets, enabling
+//     random access to single cases without reading the whole file.
+//
+// Layout:
+//
+//	"STA1" | u32 version
+//	section*          (one per case)
+//	index             (case table with offsets/lengths)
+//	u64 index offset | u32 index CRC | "XATS"
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+const (
+	magic       = "STA1"
+	footerMagic = "XATS"
+	version     = 1
+)
+
+// footerSize is the fixed tail of the file: index offset, index CRC,
+// magic.
+const footerSize = 8 + 4 + 4
+
+// ErrCorrupt is wrapped by errors reporting integrity failures.
+type CorruptError struct {
+	Detail string
+}
+
+func (e *CorruptError) Error() string { return "archive: corrupt file: " + e.Detail }
+
+func corrupt(format string, args ...any) error {
+	return &CorruptError{Detail: fmt.Sprintf(format, args...)}
+}
+
+// checksum is the CRC-32 (IEEE) used throughout the format.
+func checksum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+// buf is a small append-only encoder.
+type buf struct {
+	b []byte
+}
+
+func (w *buf) bytes() []byte { return w.b }
+
+func (w *buf) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *buf) varint(v int64)   { w.b = binary.AppendVarint(w.b, v) }
+func (w *buf) raw(p []byte)     { w.b = append(w.b, p...) }
+func (w *buf) u32(v uint32)     { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *buf) u64(v uint64)     { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *buf) str(s string)     { w.uvarint(uint64(len(s))); w.b = append(w.b, s...) }
+
+// cursor is the matching decoder.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, corrupt("bad uvarint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) varint() (int64, error) {
+	v, n := binary.Varint(c.b[c.off:])
+	if n <= 0 {
+		return 0, corrupt("bad varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, corrupt("truncated u32 at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, corrupt("truncated u64 at offset %d", c.off)
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) str() (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(c.remaining()) {
+		return "", corrupt("string of %d bytes exceeds section at offset %d", n, c.off)
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s, nil
+}

@@ -1,0 +1,65 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Robustness: arbitrary corruption of a valid archive must never panic —
+// every byte flip either fails at open, fails at read, or (for bytes in
+// unreachable padding) still round-trips correctly. Silent corruption is
+// impossible because sections and the index are checksummed.
+func TestReaderRobustnessUnderMutation(t *testing.T) {
+	log := randLog(77, 4, 60)
+	var f bytes.Buffer
+	if err := Write(&f, log); err != nil {
+		t.Fatal(err)
+	}
+	orig := f.Bytes()
+	rng := rand.New(rand.NewSource(7))
+
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), orig...)
+		// 1-4 random mutations.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0: // flip
+				mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			case 1: // truncate
+				if len(mut) > 1 {
+					mut = mut[:rng.Intn(len(mut))]
+				}
+			case 2: // extend with junk
+				mut = append(mut, byte(rng.Intn(256)))
+			}
+		}
+		r, err := NewReader(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			continue
+		}
+		_, _ = r.ReadAll() // must not panic
+	}
+}
+
+// Robustness: random byte blobs presented as archives must never panic.
+func TestReaderRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(400)
+		blob := make([]byte, n)
+		rng.Read(blob)
+		// Occasionally fake the magics so deeper paths run.
+		if n >= 4 && trial%3 == 0 {
+			copy(blob, magic)
+		}
+		if n >= footerSize && trial%5 == 0 {
+			copy(blob[n-4:], footerMagic)
+		}
+		r, err := NewReader(bytes.NewReader(blob), int64(n))
+		if err != nil {
+			continue
+		}
+		_, _ = r.ReadAll()
+	}
+}

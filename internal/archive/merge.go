@@ -1,0 +1,33 @@
+package archive
+
+import (
+	"fmt"
+
+	"stinspector/internal/trace"
+)
+
+// Merge consolidates several STA files into one, the operation needed
+// when separate runs (recorded and archived independently, as the
+// paper's SSF and FPP runs were) are to be analysed as a single
+// event-log. Case identities must be disjoint across inputs.
+func Merge(dst string, srcs ...string) error {
+	if len(srcs) == 0 {
+		return fmt.Errorf("archive: nothing to merge")
+	}
+	combined, err := trace.NewEventLog()
+	if err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		log, err := ReadLog(src)
+		if err != nil {
+			return fmt.Errorf("archive: merge %s: %w", src, err)
+		}
+		for _, c := range log.Cases() {
+			if err := combined.Add(c); err != nil {
+				return fmt.Errorf("archive: merge %s: %w", src, err)
+			}
+		}
+	}
+	return WriteFile(dst, combined)
+}

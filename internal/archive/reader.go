@@ -1,0 +1,318 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+// Reader provides random access to the cases of an STA file, the
+// counterpart of the paper's "each case is stored in a separate group
+// within the HDF5 file": single cases can be loaded without materializing
+// the whole event-log.
+type Reader struct {
+	src     io.ReaderAt
+	closer  io.Closer
+	entries []indexEntry
+	byID    map[trace.CaseID]int
+}
+
+// Open opens an STA file for random access.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens an STA image of the given size from any io.ReaderAt.
+func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
+	if size < int64(len(magic))+4+footerSize {
+		return nil, corrupt("file too small (%d bytes)", size)
+	}
+	head := make([]byte, len(magic)+4)
+	if _, err := src.ReadAt(head, 0); err != nil {
+		return nil, err
+	}
+	if string(head[:4]) != magic {
+		return nil, corrupt("bad magic %q", head[:4])
+	}
+	c := &cursor{b: head, off: 4}
+	ver, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("archive: unsupported version %d", ver)
+	}
+
+	foot := make([]byte, footerSize)
+	if _, err := src.ReadAt(foot, size-footerSize); err != nil {
+		return nil, err
+	}
+	fc := &cursor{b: foot}
+	indexOffset, err := fc.u64()
+	if err != nil {
+		return nil, err
+	}
+	indexCRC, err := fc.u32()
+	if err != nil {
+		return nil, err
+	}
+	if string(foot[12:16]) != footerMagic {
+		return nil, corrupt("bad footer magic %q", foot[12:16])
+	}
+	if indexOffset > uint64(size-footerSize) {
+		return nil, corrupt("index offset %d beyond file", indexOffset)
+	}
+
+	idx := make([]byte, uint64(size-footerSize)-indexOffset)
+	if _, err := src.ReadAt(idx, int64(indexOffset)); err != nil {
+		return nil, err
+	}
+	if checksum(idx) != indexCRC {
+		return nil, corrupt("index checksum mismatch")
+	}
+
+	ic := &cursor{b: idx}
+	n, err := ic.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{src: src, byID: make(map[trace.CaseID]int, n)}
+	for i := uint64(0); i < n; i++ {
+		var ent indexEntry
+		if ent.id.CID, err = ic.str(); err != nil {
+			return nil, err
+		}
+		if ent.id.Host, err = ic.str(); err != nil {
+			return nil, err
+		}
+		rid, err := ic.varint()
+		if err != nil {
+			return nil, err
+		}
+		ent.id.RID = int(rid)
+		if ent.offset, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		if ent.length, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		if ent.events, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		if ent.offset+ent.length > indexOffset {
+			return nil, corrupt("case %s section [%d,%d) overlaps index", ent.id, ent.offset, ent.offset+ent.length)
+		}
+		r.byID[ent.id] = len(r.entries)
+		r.entries = append(r.entries, ent)
+	}
+	return r, nil
+}
+
+// Close releases the underlying file when the reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Cases lists the stored case identities in file order.
+func (r *Reader) Cases() []trace.CaseID {
+	out := make([]trace.CaseID, len(r.entries))
+	for i, ent := range r.entries {
+		out[i] = ent.id
+	}
+	return out
+}
+
+// NumCases returns the number of stored cases.
+func (r *Reader) NumCases() int { return len(r.entries) }
+
+// NumEvents returns the total number of stored events (from the index, no
+// section reads).
+func (r *Reader) NumEvents() int {
+	n := 0
+	for _, ent := range r.entries {
+		n += int(ent.events)
+	}
+	return n
+}
+
+// ReadCase loads a single case.
+func (r *Reader) ReadCase(id trace.CaseID) (*trace.Case, error) {
+	i, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("archive: no case %s", id)
+	}
+	return r.readEntry(r.entries[i])
+}
+
+func (r *Reader) readEntry(ent indexEntry) (*trace.Case, error) {
+	section := make([]byte, ent.length)
+	if _, err := r.src.ReadAt(section, int64(ent.offset)); err != nil {
+		return nil, err
+	}
+	return decodeCase(section, ent.id)
+}
+
+// ReadAll loads the full event-log.
+func (r *Reader) ReadAll() (*trace.EventLog, error) {
+	log, err := trace.NewEventLog()
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range r.entries {
+		c, err := r.readEntry(ent)
+		if err != nil {
+			return nil, err
+		}
+		if err := log.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}
+
+// ReadLog opens path and loads the full event-log in one call.
+func ReadLog(path string) (*trace.EventLog, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.ReadAll()
+}
+
+// decodeCase parses and verifies one case section.
+func decodeCase(section []byte, want trace.CaseID) (*trace.Case, error) {
+	c := &cursor{b: section}
+	bodyLen, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if bodyLen+4 > uint64(c.remaining()) {
+		return nil, corrupt("case %s: section body truncated", want)
+	}
+	body := section[c.off : c.off+int(bodyLen)]
+	crcCur := &cursor{b: section, off: c.off + int(bodyLen)}
+	crc, err := crcCur.u32()
+	if err != nil {
+		return nil, err
+	}
+	if checksum(body) != crc {
+		return nil, corrupt("case %s: section checksum mismatch", want)
+	}
+
+	bc := &cursor{b: body}
+	var id trace.CaseID
+	if id.CID, err = bc.str(); err != nil {
+		return nil, err
+	}
+	if id.Host, err = bc.str(); err != nil {
+		return nil, err
+	}
+	rid, err := bc.varint()
+	if err != nil {
+		return nil, err
+	}
+	id.RID = int(rid)
+	if id != want {
+		return nil, corrupt("section holds case %s, index says %s", id, want)
+	}
+
+	n, err := bc.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nd, err := bc.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	dict := make([]string, nd)
+	for i := range dict {
+		if dict[i], err = bc.str(); err != nil {
+			return nil, err
+		}
+	}
+	lookup := func(i uint64) (string, error) {
+		if i >= uint64(len(dict)) {
+			return "", corrupt("case %s: dictionary id %d out of range", id, i)
+		}
+		return dict[i], nil
+	}
+
+	events := make([]trace.Event, n)
+	for i := range events {
+		pid, err := bc.varint()
+		if err != nil {
+			return nil, err
+		}
+		events[i].PID = int(pid)
+	}
+	for i := range events {
+		cid, err := bc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if events[i].Call, err = lookup(cid); err != nil {
+			return nil, err
+		}
+	}
+	prev := int64(0)
+	for i := range events {
+		if i == 0 {
+			v, err := bc.varint()
+			if err != nil {
+				return nil, err
+			}
+			prev = v
+		} else {
+			d, err := bc.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			prev += int64(d)
+		}
+		events[i].Start = time.Duration(prev)
+	}
+	for i := range events {
+		d, err := bc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		events[i].Dur = time.Duration(d)
+	}
+	for i := range events {
+		fid, err := bc.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if events[i].FP, err = lookup(fid); err != nil {
+			return nil, err
+		}
+	}
+	for i := range events {
+		if events[i].Size, err = bc.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return trace.NewCase(id, events), nil
+}

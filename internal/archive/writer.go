@@ -1,0 +1,159 @@
+package archive
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"stinspector/internal/trace"
+)
+
+// indexEntry locates one case section within the file.
+type indexEntry struct {
+	id     trace.CaseID
+	offset uint64
+	length uint64
+	events uint64
+}
+
+// Write serializes the event-log into the STA format. Cases are written
+// in the log's deterministic order; the output is byte-for-byte
+// reproducible for a given log.
+func Write(w io.Writer, log *trace.EventLog) error {
+	var written int64
+	count := func(p []byte) error {
+		n, err := w.Write(p)
+		written += int64(n)
+		return err
+	}
+
+	var head buf
+	head.raw([]byte(magic))
+	head.u32(version)
+	if err := count(head.bytes()); err != nil {
+		return err
+	}
+
+	entries := make([]indexEntry, 0, log.NumCases())
+	for _, c := range log.Cases() {
+		if !c.Sorted() {
+			return fmt.Errorf("archive: case %s is not sorted by start time", c.ID)
+		}
+		section := encodeCase(c)
+		entries = append(entries, indexEntry{
+			id:     c.ID,
+			offset: uint64(written),
+			length: uint64(len(section)),
+			events: uint64(len(c.Events)),
+		})
+		if err := count(section); err != nil {
+			return err
+		}
+	}
+
+	indexOffset := uint64(written)
+	var idx buf
+	idx.uvarint(uint64(len(entries)))
+	for _, ent := range entries {
+		idx.str(ent.id.CID)
+		idx.str(ent.id.Host)
+		idx.varint(int64(ent.id.RID))
+		idx.uvarint(ent.offset)
+		idx.uvarint(ent.length)
+		idx.uvarint(ent.events)
+	}
+	if err := count(idx.bytes()); err != nil {
+		return err
+	}
+
+	var foot buf
+	foot.u64(indexOffset)
+	foot.u32(checksum(idx.bytes()))
+	foot.raw([]byte(footerMagic))
+	return count(foot.bytes())
+}
+
+// WriteFile serializes the event-log to a file.
+func WriteFile(path string, log *trace.EventLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, log); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// encodeCase serializes one case as a self-checking section:
+//
+//	cid | host | rid | nEvents
+//	dict (string table shared by the call and fp columns)
+//	pid[] | call-id[] | startΔ[] | dur[] | fp-id[] | size[]
+//	u32 CRC over everything above
+//
+// The start column stores the first timestamp absolutely and the rest as
+// deltas, which are non-negative because rows are sorted.
+func encodeCase(c *trace.Case) []byte {
+	var body buf
+	body.str(c.ID.CID)
+	body.str(c.ID.Host)
+	body.varint(int64(c.ID.RID))
+	body.uvarint(uint64(len(c.Events)))
+
+	// Build the dictionary.
+	dict := make(map[string]uint64)
+	var strs []string
+	intern := func(s string) uint64 {
+		if id, ok := dict[s]; ok {
+			return id
+		}
+		id := uint64(len(strs))
+		dict[s] = id
+		strs = append(strs, s)
+		return id
+	}
+	callIDs := make([]uint64, len(c.Events))
+	fpIDs := make([]uint64, len(c.Events))
+	for i, e := range c.Events {
+		callIDs[i] = intern(e.Call)
+		fpIDs[i] = intern(e.FP)
+	}
+	body.uvarint(uint64(len(strs)))
+	for _, s := range strs {
+		body.str(s)
+	}
+
+	for _, e := range c.Events {
+		body.varint(int64(e.PID))
+	}
+	for _, id := range callIDs {
+		body.uvarint(id)
+	}
+	prev := int64(0)
+	for i, e := range c.Events {
+		v := int64(e.Start)
+		if i == 0 {
+			body.varint(v)
+		} else {
+			body.uvarint(uint64(v - prev))
+		}
+		prev = v
+	}
+	for _, e := range c.Events {
+		body.uvarint(uint64(e.Dur))
+	}
+	for _, id := range fpIDs {
+		body.uvarint(id)
+	}
+	for _, e := range c.Events {
+		body.varint(e.Size)
+	}
+
+	var out buf
+	out.uvarint(uint64(len(body.bytes())))
+	out.raw(body.bytes())
+	out.u32(checksum(body.bytes()))
+	return out.bytes()
+}

@@ -1,0 +1,109 @@
+package iorsim
+
+import (
+	"fmt"
+	"time"
+
+	"stinspector/internal/mpisim"
+	"stinspector/internal/simfs"
+)
+
+// appendCollectivePhases builds the write/read phases under MPI-IO
+// collective buffering (IOR -c -a mpiio): per segment, every rank first
+// exchanges its data with the node's aggregator through a node-local
+// shared-memory buffer, then the aggregator alone accesses the file with
+// host-contiguous pwrite64/pread64 calls. Far fewer ranks touch the
+// shared file, so byte-range token traffic collapses — the optimization
+// collective buffering exists for.
+func appendCollectivePhases(p mpisim.Program, cfg Config, fs *simfs.FS, world *mpisim.World, r *mpisim.Rank, path string) mpisim.Program {
+	perHost := world.RanksPerHost()
+	hostIdx := r.ID / perHost
+	isAggregator := r.ID%perHost == 0
+	aggBuf := fmt.Sprintf("%s/mpiio_cb.%d", cfg.Site.NodeLocal, hostIdx)
+	tpb := cfg.TransfersPerBlock()
+
+	// Ranks on the aggregator's host, for the aggregator's file phase.
+	hostLo := hostIdx * perHost
+	hostHi := hostLo + perHost
+	if hostHi > cfg.Ranks {
+		hostHi = cfg.Ranks
+	}
+
+	shmWrite := func(size int64) mpisim.Action {
+		return mpisim.Syscall("write", aggBuf, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+			return fs.Write(rr.ID, now, aggBuf, 0, size), size
+		})
+	}
+	shmRead := func(size int64) mpisim.Action {
+		return mpisim.Syscall("read", aggBuf, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+			return fs.Read(rr.ID, now, aggBuf, 0, size), size
+		})
+	}
+
+	if cfg.Write {
+		for seg := 0; seg < cfg.Segments; seg++ {
+			// Exchange: every rank ships its block to the
+			// aggregation buffer in transfer-size chunks.
+			for t := 0; t < tpb; t++ {
+				p = append(p, mpisim.Compute(cfg.ComputePerTransfer))
+				p = append(p, shmWrite(cfg.TransferSize))
+			}
+			p = append(p, mpisim.Barrier())
+			// File phase: the aggregator writes the host's blocks.
+			if isAggregator {
+				for rank := hostLo; rank < hostHi; rank++ {
+					off := cfg.blockOffset(seg, rank)
+					size := cfg.BlockSize
+					p = append(p, mpisim.Syscall("pwrite64", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+						return fs.Write(rr.ID, now, path, off, size), size
+					}))
+				}
+			}
+			p = append(p, mpisim.Barrier())
+		}
+		if cfg.Fsync {
+			p = append(p, mpisim.Syscall("fsync", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+				return fs.Fsync(path), -1
+			}))
+		}
+		p = append(p, mpisim.Barrier())
+	}
+
+	if cfg.Read {
+		// With -C the host reads the neighbouring host's region; the
+		// aggregator fetches it, then ranks pull their blocks from
+		// the buffer.
+		srcHost := hostIdx
+		if cfg.ReorderTasks {
+			hosts := (cfg.Ranks + perHost - 1) / perHost
+			srcHost = (hostIdx + 1) % hosts
+		}
+		srcLo := srcHost * perHost
+		srcHi := srcLo + perHost
+		if srcHi > cfg.Ranks {
+			srcHi = cfg.Ranks
+		}
+		for seg := 0; seg < cfg.Segments; seg++ {
+			if isAggregator {
+				for rank := srcLo; rank < srcHi; rank++ {
+					off := cfg.blockOffset(seg, rank)
+					size := cfg.BlockSize
+					p = append(p, mpisim.Syscall("pread64", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+						return fs.Read(rr.ID, now, path, off, size), size
+					}))
+				}
+			}
+			p = append(p, mpisim.Barrier())
+			for t := 0; t < tpb; t++ {
+				p = append(p, shmRead(cfg.TransferSize))
+			}
+			p = append(p, mpisim.Barrier())
+		}
+		p = append(p, mpisim.Barrier())
+	}
+
+	p = append(p, mpisim.Syscall("close", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Close(), -1
+	}))
+	return p
+}

@@ -1,0 +1,346 @@
+// Package iorsim simulates the IOR benchmark over the simfs filesystem
+// model and the mpisim process engine. It accepts the options the paper
+// uses (Figure 7b):
+//
+//	ior -t 1m -b 16m -s 3 -w -r -C -e [-F] [-a mpiio] -o FILE
+//
+// and produces the system-call event streams an strace of the real run
+// would yield: openat/lseek/read/write for the POSIX API, and
+// pread64/pwrite64 (no lseek) when the MPI-IO interface is selected,
+// "a naive replacement of standard file operations with the MPI-IO
+// counterpart" (Section V-B).
+package iorsim
+
+import (
+	"fmt"
+	"time"
+
+	"stinspector/internal/mpisim"
+	"stinspector/internal/simfs"
+	"stinspector/internal/trace"
+)
+
+// API selects the I/O interface, the paper's -a option.
+type API int
+
+const (
+	// POSIX is IOR's default: lseek + read/write.
+	POSIX API = iota
+	// MPIIO replaces them with pread64/pwrite64 issued by the MPI-IO
+	// layer, fusing the seek into the access.
+	MPIIO
+)
+
+// ParseAPI parses "posix" or "mpiio".
+func ParseAPI(s string) (API, error) {
+	switch s {
+	case "", "posix", "POSIX":
+		return POSIX, nil
+	case "mpiio", "MPIIO":
+		return MPIIO, nil
+	}
+	return POSIX, fmt.Errorf("iorsim: unknown api %q (want posix or mpiio)", s)
+}
+
+func (a API) String() string {
+	if a == MPIIO {
+		return "mpiio"
+	}
+	return "posix"
+}
+
+// Site describes the storage layout of the simulated cluster, used for
+// path generation and for the $VAR abstractions of the mapping f̄.
+type Site struct {
+	Scratch   string
+	Home      string
+	Software  string
+	NodeLocal string
+}
+
+// DefaultSite mirrors the JUWELS-style layout used in the paper.
+func DefaultSite() Site {
+	return Site{
+		Scratch:   "/p/scratch/user",
+		Home:      "/p/home/user",
+		Software:  "/p/software",
+		NodeLocal: "/dev/shm",
+	}
+}
+
+// Config is one IOR run.
+type Config struct {
+	// CID identifies the run's cases in the event-log (for example
+	// "ssf", "fpp", "posix", "mpiio").
+	CID string
+	// Ranks and Hosts configure the MPI world (the paper: 96 ranks on
+	// 2 hosts). BaseRID offsets the launcher process ids so that
+	// multiple runs keep distinct case identities.
+	Ranks   int
+	Hosts   int
+	BaseRID int
+	// TransferSize (-t), BlockSize (-b) and Segments (-s) define the
+	// file format of Figure 7a.
+	TransferSize int64
+	BlockSize    int64
+	Segments     int
+	// Write (-w) and Read (-r) select the phases; Fsync (-e) issues
+	// fsync after the write phase; ReorderTasks (-C) makes each rank
+	// read the block written by a rank of the neighbouring host.
+	Write        bool
+	Read         bool
+	Fsync        bool
+	ReorderTasks bool
+	// FilePerProc (-F) switches from single-shared-file to
+	// file-per-process.
+	FilePerProc bool
+	// API is the -a option.
+	API API
+	// Collective enables MPI-IO collective buffering (IOR's -c):
+	// ranks exchange data so that one aggregator per host performs the
+	// file accesses with host-contiguous buffers. Only meaningful with
+	// API == MPIIO; it reduces the number of ranks touching the file
+	// (and thereby token traffic) at the cost of intra-node data
+	// movement, which appears as extra node-local writes.
+	Collective bool
+	// TestFile is the -o option (absolute path under the site scratch).
+	TestFile string
+	// Preamble also emits the startup I/O every MPI program performs
+	// (shared-library reads under $SOFTWARE, dotfile opens under
+	// $HOME, MPI shared-memory segments on node-local storage), which
+	// populates the non-$SCRATCH nodes of Figure 8a.
+	Preamble bool
+	// Site is the storage layout (DefaultSite if zero).
+	Site Site
+	// FSParams calibrates the filesystem model
+	// (simfs.DefaultParams if zero).
+	FSParams *simfs.Params
+	// ComputePerTransfer is user-space time spent preparing each
+	// transfer buffer (default 100µs).
+	ComputePerTransfer time.Duration
+	// Seed fixes the run's randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CID == "" {
+		c.CID = "ior"
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 1
+	}
+	if c.TransferSize <= 0 {
+		c.TransferSize = 1 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 16 << 20
+	}
+	if c.Segments <= 0 {
+		c.Segments = 3
+	}
+	if c.Site == (Site{}) {
+		c.Site = DefaultSite()
+	}
+	if c.TestFile == "" {
+		mode := "ssf"
+		if c.FilePerProc {
+			mode = "fpp"
+		}
+		c.TestFile = c.Site.Scratch + "/" + mode + "/test"
+	}
+	if c.ComputePerTransfer == 0 {
+		c.ComputePerTransfer = 100 * time.Microsecond
+	}
+	if c.BaseRID == 0 {
+		c.BaseRID = 40000
+	}
+	return c
+}
+
+// TransfersPerBlock returns -b / -t.
+func (c Config) TransfersPerBlock() int { return int(c.BlockSize / c.TransferSize) }
+
+// Result carries the artifacts of a run.
+type Result struct {
+	Log   *trace.EventLog
+	FS    *simfs.FS
+	World *mpisim.World
+	Cfg   Config
+}
+
+// Run executes the simulated benchmark and collects one case per rank.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BlockSize%cfg.TransferSize != 0 {
+		return nil, fmt.Errorf("iorsim: block size %d not a multiple of transfer size %d", cfg.BlockSize, cfg.TransferSize)
+	}
+	params := simfs.DefaultParams()
+	if cfg.FSParams != nil {
+		params = *cfg.FSParams
+	}
+	// Byte-range tokens are granted at block granularity: GPFS learns
+	// the access pattern's likely ranges, and IOR's pattern is one
+	// block per rank per segment.
+	params.GrantBytes = cfg.BlockSize
+	fs := simfs.New(params, cfg.Seed)
+	world := mpisim.NewWorld(mpisim.Config{
+		Ranks:   cfg.Ranks,
+		Hosts:   cfg.Hosts,
+		BaseRID: cfg.BaseRID,
+		Seed:    cfg.Seed + 1,
+	})
+	programs := make([]mpisim.Program, cfg.Ranks)
+	for i, r := range world.Ranks {
+		programs[i] = buildProgram(cfg, fs, world, r)
+	}
+	if err := mpisim.NewEngine(world).Run(programs); err != nil {
+		return nil, err
+	}
+	log, err := world.EventLog(cfg.CID)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Log: log, FS: fs, World: world, Cfg: cfg}, nil
+}
+
+// rankFile returns the file a rank accesses: the shared test file, or its
+// private "testfile.00000042"-style file in file-per-process mode.
+func (c Config) rankFile(rank int) string {
+	if !c.FilePerProc {
+		return c.TestFile
+	}
+	return fmt.Sprintf("%s.%08d", c.TestFile, rank)
+}
+
+// blockOffset returns the offset of a rank's block within a segment for
+// the shared-file layout of Figure 7a: segments are contiguous regions
+// holding one block per rank.
+func (c Config) blockOffset(segment, rank int) int64 {
+	if c.FilePerProc {
+		return int64(segment) * c.BlockSize
+	}
+	return (int64(segment)*int64(c.Ranks) + int64(rank)) * c.BlockSize
+}
+
+// buildProgram assembles one rank's action sequence.
+func buildProgram(cfg Config, fs *simfs.FS, world *mpisim.World, r *mpisim.Rank) mpisim.Program {
+	var p mpisim.Program
+	rank := r.ID
+
+	if cfg.Preamble {
+		p = append(p, preamble(cfg, fs, rank)...)
+	}
+	p = append(p, mpisim.Barrier())
+
+	// Open phase.
+	path := cfg.rankFile(rank)
+	p = append(p, mpisim.Syscall("openat", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Open(rr.ID, now, path, cfg.Write), -1
+	}))
+	p = append(p, mpisim.Barrier())
+
+	tpb := cfg.TransfersPerBlock()
+
+	if cfg.Collective && cfg.API == MPIIO {
+		return appendCollectivePhases(p, cfg, fs, world, r, path)
+	}
+
+	if cfg.Write {
+		pos := int64(0)
+		for seg := 0; seg < cfg.Segments; seg++ {
+			target := cfg.blockOffset(seg, rank)
+			if cfg.API == POSIX && pos != target {
+				p = append(p, seekAction(fs, path))
+			}
+			for t := 0; t < tpb; t++ {
+				off := target + int64(t)*cfg.TransferSize
+				p = append(p, mpisim.Compute(cfg.ComputePerTransfer))
+				p = append(p, writeAction(cfg, fs, path, off))
+			}
+			pos = target + c64(tpb)*cfg.TransferSize
+		}
+		if cfg.Fsync {
+			p = append(p, mpisim.Syscall("fsync", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+				return fs.Fsync(path), -1
+			}))
+		}
+		p = append(p, mpisim.Barrier())
+	}
+
+	if cfg.Read {
+		src := rank
+		if cfg.ReorderTasks {
+			// -C: read the data written by a rank of the
+			// neighbouring node, avoiding the local page cache.
+			src = (rank + world.RanksPerHost()) % cfg.Ranks
+		}
+		rpath := cfg.rankFile(src)
+		srcBlockRank := src
+		if cfg.FilePerProc {
+			srcBlockRank = 0 // private files hold only own blocks
+		}
+		if cfg.FilePerProc {
+			// In file-per-process mode the reader opens the
+			// neighbour's file first.
+			if src != rank {
+				p = append(p, mpisim.Syscall("openat", rpath, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+					return fs.Open(rr.ID, now, rpath, false), -1
+				}))
+			}
+		}
+		pos := int64(-1)
+		for seg := 0; seg < cfg.Segments; seg++ {
+			target := cfg.blockOffset(seg, srcBlockRank)
+			if cfg.FilePerProc {
+				target = int64(seg) * cfg.BlockSize
+			}
+			if cfg.API == POSIX && pos != target {
+				p = append(p, seekAction(fs, rpath))
+			}
+			for t := 0; t < tpb; t++ {
+				off := target + int64(t)*cfg.TransferSize
+				p = append(p, readAction(cfg, fs, rpath, off))
+			}
+			pos = target + c64(tpb)*cfg.TransferSize
+		}
+		p = append(p, mpisim.Barrier())
+	}
+
+	p = append(p, mpisim.Syscall("close", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Close(), -1
+	}))
+	return p
+}
+
+func c64(v int) int64 { return int64(v) }
+
+func seekAction(fs *simfs.FS, path string) mpisim.Action {
+	return mpisim.Syscall("lseek", path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Seek(), -1
+	})
+}
+
+func writeAction(cfg Config, fs *simfs.FS, path string, off int64) mpisim.Action {
+	call := "write"
+	if cfg.API == MPIIO {
+		call = "pwrite64"
+	}
+	size := cfg.TransferSize
+	return mpisim.Syscall(call, path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Write(rr.ID, now, path, off, size), size
+	})
+}
+
+func readAction(cfg Config, fs *simfs.FS, path string, off int64) mpisim.Action {
+	call := "read"
+	if cfg.API == MPIIO {
+		call = "pread64"
+	}
+	size := cfg.TransferSize
+	return mpisim.Syscall(call, path, func(rr *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Read(rr.ID, now, path, off, size), size
+	})
+}

@@ -1,0 +1,318 @@
+package iorsim
+
+import (
+	"strings"
+	"testing"
+
+	"stinspector/internal/trace"
+)
+
+// smallCfg is a reduced-scale run (8 ranks, 2 hosts) for fast tests.
+func smallCfg(cid string, fpp bool, api API) Config {
+	return Config{
+		CID:          cid,
+		Ranks:        8,
+		Hosts:        2,
+		TransferSize: 1 << 20,
+		BlockSize:    4 << 20,
+		Segments:     2,
+		Write:        true,
+		Read:         true,
+		Fsync:        true,
+		ReorderTasks: true,
+		FilePerProc:  fpp,
+		API:          api,
+		Seed:         7,
+	}
+}
+
+func countCalls(log *trace.EventLog, substr string) map[string]int {
+	out := map[string]int{}
+	log.Events(func(e trace.Event) {
+		if strings.Contains(e.FP, substr) {
+			out[e.Call]++
+		}
+	})
+	return out
+}
+
+func TestRunSSFPosixCounts(t *testing.T) {
+	res, err := Run(smallCfg("ssf", false, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.Log
+	if log.NumCases() != 8 {
+		t.Fatalf("cases = %d", log.NumCases())
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	calls := countCalls(log, "/scratch/")
+	// 8 ranks × 2 segments × 4 transfers.
+	if calls["write"] != 64 || calls["read"] != 64 {
+		t.Errorf("write/read = %d/%d, want 64/64", calls["write"], calls["read"])
+	}
+	// One shared-file open per rank.
+	if calls["openat"] != 8 {
+		t.Errorf("openat = %d, want 8", calls["openat"])
+	}
+	if calls["fsync"] != 8 {
+		t.Errorf("fsync = %d, want 8", calls["fsync"])
+	}
+	// lseeks: every rank seeks per segment on write (except rank 0's
+	// first segment at offset 0) and per segment on read.
+	wantSeeks := 8*2 - 1 + 8*2
+	if calls["lseek"] != wantSeeks {
+		t.Errorf("lseek = %d, want %d", calls["lseek"], wantSeeks)
+	}
+	if calls["pread64"] != 0 || calls["pwrite64"] != 0 {
+		t.Errorf("posix run used p-calls: %v", calls)
+	}
+	// All shared-file accesses target the single test file.
+	log.Events(func(e trace.Event) {
+		if strings.Contains(e.FP, "/scratch/") && e.FP != res.Cfg.TestFile {
+			t.Errorf("unexpected path %s", e.FP)
+		}
+	})
+}
+
+func TestRunFPPPaths(t *testing.T) {
+	res, err := Run(smallCfg("fpp", true, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := map[string]bool{}
+	res.Log.Events(func(e trace.Event) {
+		if strings.Contains(e.FP, "/scratch/") {
+			paths[e.FP] = true
+		}
+	})
+	// Eight private files.
+	if len(paths) != 8 {
+		t.Errorf("distinct fpp files = %d: %v", len(paths), paths)
+	}
+	for p := range paths {
+		if !strings.Contains(p, "fpp/test.0000000") {
+			t.Errorf("unexpected fpp path %s", p)
+		}
+	}
+	// No write-token revocations in file-per-process mode.
+	if res.FS.Revocations != 0 {
+		t.Errorf("fpp run caused %d revocations", res.FS.Revocations)
+	}
+	// -C with FPP: readers open the neighbour's file: 8 creates + 8
+	// read opens.
+	calls := countCalls(res.Log, "/scratch/")
+	if calls["openat"] != 16 {
+		t.Errorf("fpp openat = %d, want 16 (own create + neighbour open)", calls["openat"])
+	}
+}
+
+func TestRunMPIIOCalls(t *testing.T) {
+	res, err := Run(smallCfg("mpiio", false, MPIIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := countCalls(res.Log, "/scratch/")
+	if calls["pwrite64"] != 64 || calls["pread64"] != 64 {
+		t.Errorf("p-calls = %v", calls)
+	}
+	if calls["lseek"] != 0 || calls["write"] != 0 || calls["read"] != 0 {
+		t.Errorf("mpiio run issued posix calls: %v", calls)
+	}
+}
+
+func TestMPIIOFewerSyscalls(t *testing.T) {
+	posix, err := Run(smallCfg("posix", false, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpiio, err := Run(smallCfg("mpiio", false, MPIIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mpiio.Log.NumEvents(), posix.Log.NumEvents(); got >= want {
+		t.Errorf("mpiio issued %d syscalls, posix %d; mpiio must issue fewer", got, want)
+	}
+}
+
+func TestSSFContentionCounters(t *testing.T) {
+	res, err := Run(smallCfg("ssf", false, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 of 8 ranks open an already-open shared file.
+	if res.FS.SharedOpens != 7 {
+		t.Errorf("shared opens = %d, want 7", res.FS.SharedOpens)
+	}
+	// Interleaved segments cause roughly ranks×segments revocations.
+	if res.FS.Revocations < 8 {
+		t.Errorf("revocations = %d, want ≥ 8", res.FS.Revocations)
+	}
+	// One shared file, one read switch.
+	if res.FS.ReadSwitches != 1 {
+		t.Errorf("read switches = %d, want 1", res.FS.ReadSwitches)
+	}
+}
+
+func TestReorderTasksReadsNeighbourBlocks(t *testing.T) {
+	// Without -C each rank reads its own block; sizes/counts are equal
+	// either way, but -C on FPP shows up as opens of other ranks'
+	// files.
+	cfg := smallCfg("fpp", true, POSIX)
+	cfg.ReorderTasks = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := countCalls(res.Log, "/scratch/")
+	if calls["openat"] != 8 {
+		t.Errorf("without -C: openat = %d, want 8 (no neighbour opens)", calls["openat"])
+	}
+}
+
+func TestPreambleEvents(t *testing.T) {
+	cfg := smallCfg("pre", false, POSIX)
+	cfg.Preamble = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := countCalls(res.Log, "/p/software")
+	if soft["read"] != 8*30 {
+		t.Errorf("software reads = %d, want 240", soft["read"])
+	}
+	if soft["openat"] != 8*5 {
+		t.Errorf("software opens = %d, want 40", soft["openat"])
+	}
+	home := countCalls(res.Log, "/p/home")
+	if home["openat"] == 0 {
+		t.Errorf("no home opens")
+	}
+	local := countCalls(res.Log, "/dev/shm")
+	if local["write"] != 8*65 {
+		t.Errorf("node-local writes = %d, want 520", local["write"])
+	}
+	var localBytes int64
+	res.Log.Events(func(e trace.Event) {
+		if strings.HasPrefix(e.FP, "/dev/shm") && e.HasSize() {
+			localBytes += e.Size
+		}
+	})
+	if localBytes != 8*65*66_000 {
+		t.Errorf("node-local bytes = %d", localBytes)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(smallCfg("d", false, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallCfg("d", false, POSIX))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.NumEvents() != b.Log.NumEvents() {
+		t.Fatalf("event counts differ: %d vs %d", a.Log.NumEvents(), b.Log.NumEvents())
+	}
+	ac, bc := a.Log.Cases(), b.Log.Cases()
+	for i := range ac {
+		for j := range ac[i].Events {
+			if ac[i].Events[j] != bc[i].Events[j] {
+				t.Fatalf("case %d event %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := smallCfg("bad", false, POSIX)
+	cfg.TransferSize = 3
+	cfg.BlockSize = 10
+	if _, err := Run(cfg); err == nil {
+		t.Errorf("non-divisible block/transfer accepted")
+	}
+	if _, err := ParseAPI("posix"); err != nil {
+		t.Errorf("ParseAPI(posix): %v", err)
+	}
+	if api, err := ParseAPI("mpiio"); err != nil || api != MPIIO {
+		t.Errorf("ParseAPI(mpiio) = %v, %v", api, err)
+	}
+	if _, err := ParseAPI("hdf5"); err == nil {
+		t.Errorf("unknown api accepted")
+	}
+	if POSIX.String() != "posix" || MPIIO.String() != "mpiio" {
+		t.Errorf("API.String broken")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{CID: "x", Write: true, Seed: 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cfg.TestFile == "" || !strings.Contains(res.Cfg.TestFile, "/ssf/") {
+		t.Errorf("default test file = %q", res.Cfg.TestFile)
+	}
+	if res.Cfg.TransfersPerBlock() != 16 {
+		t.Errorf("default transfers per block = %d", res.Cfg.TransfersPerBlock())
+	}
+}
+
+func TestCollectiveBuffering(t *testing.T) {
+	cfg := smallCfg("cb", false, MPIIO)
+	cfg.Collective = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Log.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	calls := countCalls(res.Log, "/scratch/")
+	perHost := 4 // 8 ranks on 2 hosts
+	// Only aggregators touch the file: 2 aggregators × 2 segments ×
+	// 4 ranks-per-host block writes.
+	if want := 2 * 2 * perHost; calls["pwrite64"] != want {
+		t.Errorf("pwrite64 = %d, want %d", calls["pwrite64"], want)
+	}
+	if calls["pread64"] != 2*2*perHost {
+		t.Errorf("pread64 = %d", calls["pread64"])
+	}
+	// The exchange shows up as node-local traffic.
+	local := countCalls(res.Log, "/dev/shm")
+	if local["write"] != 8*2*4 { // ranks × segments × transfers
+		t.Errorf("shm writes = %d, want 64", local["write"])
+	}
+	if local["read"] != 8*2*4 {
+		t.Errorf("shm reads = %d, want 64", local["read"])
+	}
+	// Token traffic collapses versus independent MPI-IO: only the two
+	// aggregators compete.
+	indep, err := Run(smallCfg("indep", false, MPIIO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FS.Revocations >= indep.FS.Revocations {
+		t.Errorf("collective revocations %d not below independent %d",
+			res.FS.Revocations, indep.FS.Revocations)
+	}
+	// Bytes through the file are identical.
+	var cbBytes, inBytes int64
+	res.Log.Events(func(e trace.Event) {
+		if strings.Contains(e.FP, "/scratch/") && e.Call == "pwrite64" {
+			cbBytes += e.Size
+		}
+	})
+	indep.Log.Events(func(e trace.Event) {
+		if strings.Contains(e.FP, "/scratch/") && e.Call == "pwrite64" {
+			inBytes += e.Size
+		}
+	})
+	if cbBytes != inBytes {
+		t.Errorf("file bytes differ: %d vs %d", cbBytes, inBytes)
+	}
+}

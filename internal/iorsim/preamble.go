@@ -1,0 +1,80 @@
+package iorsim
+
+import (
+	"fmt"
+	"time"
+
+	"stinspector/internal/mpisim"
+	"stinspector/internal/simfs"
+)
+
+// preamble emits the startup I/O of an MPI program: the dynamic loader
+// reading ELF headers of shared libraries under $SOFTWARE, environment
+// and dotfile opens under $HOME, and the MPI runtime creating
+// shared-memory segments on node-local storage. These populate the
+// $SOFTWARE / $HOME / "Node Local" regions of Figure 8a; their byte and
+// count magnitudes follow the figure (about 30 ELF-header reads of
+// ~900 B, ~27 home-directory opens, and ~65 node-local writes of ~66 KB
+// per rank).
+func preamble(cfg Config, fs *simfs.FS, rank int) mpisim.Program {
+	var p mpisim.Program
+
+	libs := []string{
+		cfg.Site.Software + "/mpi/lib/libmpi.so.40",
+		cfg.Site.Software + "/mpi/lib/libopen-pal.so.40",
+		cfg.Site.Software + "/compiler/lib/libc.so.6",
+		cfg.Site.Software + "/compiler/lib/libm.so.6",
+		cfg.Site.Software + "/tools/lib/libz.so.1",
+	}
+	open := func(path string, writable bool) mpisim.Action {
+		return mpisim.Syscall("openat", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+			return fs.Open(r.ID, now, path, writable), -1
+		})
+	}
+	read := func(path string, size int64) mpisim.Action {
+		return mpisim.Syscall("read", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+			return fs.Read(r.ID, now, path, 0, size), size
+		})
+	}
+	write := func(path string, size int64) mpisim.Action {
+		return mpisim.Syscall("write", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+			return fs.Write(r.ID, now, path, 0, size), size
+		})
+	}
+
+	// Loader: one open per library, ELF header + section reads.
+	for i, lib := range libs {
+		p = append(p, open(lib, false))
+		reads := 6
+		for j := 0; j < reads; j++ {
+			size := int64(832)
+			if j == reads-1 {
+				size = 1024 + int64(i)*64
+			}
+			p = append(p, read(lib, size))
+		}
+	}
+
+	// Environment and configuration under $HOME.
+	homeFiles := []string{"/.bashrc", "/.profile", "/.config/env", "/.cache/ld.so", "/.mpirc"}
+	for round := 0; round < 5; round++ {
+		for i, f := range homeFiles {
+			if (round+i)%2 == 0 {
+				p = append(p, open(cfg.Site.Home+f, false))
+			}
+		}
+	}
+
+	// MPI shared-memory transport on node-local storage.
+	shm := fmt.Sprintf("%s/psm2_shm.%d", cfg.Site.NodeLocal, rank)
+	spool := fmt.Sprintf("%s/ompi.spool.%d", cfg.Site.NodeLocal, rank)
+	p = append(p, open(shm, true), open(spool, true))
+	for i := 0; i < 65; i++ {
+		target := shm
+		if i%5 == 4 {
+			target = spool
+		}
+		p = append(p, write(target, 66_000))
+	}
+	return p
+}

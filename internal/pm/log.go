@@ -1,0 +1,234 @@
+package pm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"stinspector/internal/trace"
+)
+
+// Trace is an activity trace σ_f(c): the sequence of activities of the
+// mapped events of one case, in event order (Equation 5).
+type Trace []Activity
+
+// Key returns a canonical string form used to group identical traces into
+// variants. Activities never contain the NUL separator.
+func (t Trace) Key() string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// String renders the trace in the paper's ⟨a1, a2, ...⟩ notation.
+func (t Trace) String() string {
+	parts := make([]string, len(t))
+	for i, a := range t {
+		parts[i] = string(a)
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}
+
+// Variant is one distinct trace together with its multiplicity in the
+// activity-log and the cases that produced it. The paper writes
+// ⟨a, a, b⟩² for a variant with multiplicity 2.
+type Variant struct {
+	Seq   Trace
+	Mult  int
+	Cases []trace.CaseID
+}
+
+// Log is the activity-log L_f(C) ∈ B(A_f*): a multiset of traces over the
+// activity alphabet, stored as variants. Variants are kept in a
+// deterministic order (lexicographic by key) for reproducible output.
+type Log struct {
+	variants []*Variant
+	byKey    map[string]*Variant
+	// mapped/unmapped count events inside/outside the mapping domain.
+	mapped   int
+	unmapped int
+}
+
+// BuildOptions configures activity-log construction.
+type BuildOptions struct {
+	// Endpoints appends the virtual start (●) and end (■) activities
+	// to every trace, as the paper does before constructing the DFG.
+	Endpoints bool
+	// KeepEmpty keeps cases whose every event is outside the mapping
+	// domain as empty traces (which contribute a single ●→■ edge when
+	// Endpoints is set). When false such cases are dropped.
+	KeepEmpty bool
+}
+
+// Build derives the activity-log of an event-log under a mapping
+// (Section IV: "an activity-log can be seen as a query and an abstraction
+// applied to an event-log through the mapping f").
+func Build(el *trace.EventLog, m Mapping, opts BuildOptions) *Log {
+	l := &Log{byKey: make(map[string]*Variant)}
+	for _, c := range el.Cases() {
+		seq := make(Trace, 0, len(c.Events)+2)
+		if opts.Endpoints {
+			seq = append(seq, Start)
+		}
+		n := 0
+		for _, e := range c.Events {
+			a, ok := m.Map(e)
+			if !ok {
+				l.unmapped++
+				continue
+			}
+			l.mapped++
+			seq = append(seq, a)
+			n++
+		}
+		if n == 0 && !opts.KeepEmpty {
+			continue
+		}
+		if opts.Endpoints {
+			seq = append(seq, End)
+		}
+		l.add(seq, c.ID)
+	}
+	return l
+}
+
+func (l *Log) add(seq Trace, id trace.CaseID) {
+	key := seq.Key()
+	v, ok := l.byKey[key]
+	if !ok {
+		v = &Variant{Seq: seq}
+		l.byKey[key] = v
+		i := sort.Search(len(l.variants), func(i int) bool {
+			return l.variants[i].Seq.Key() >= key
+		})
+		l.variants = append(l.variants, nil)
+		copy(l.variants[i+1:], l.variants[i:])
+		l.variants[i] = v
+	}
+	v.Mult++
+	v.Cases = append(v.Cases, id)
+}
+
+// Variants returns the distinct traces with multiplicities, in
+// deterministic order. The slice must not be mutated.
+func (l *Log) Variants() []*Variant { return l.variants }
+
+// NumVariants returns the number of distinct traces.
+func (l *Log) NumVariants() int { return len(l.variants) }
+
+// NumTraces returns the total number of traces counting multiplicity
+// (= the number of cases that contributed).
+func (l *Log) NumTraces() int {
+	n := 0
+	for _, v := range l.variants {
+		n += v.Mult
+	}
+	return n
+}
+
+// NumActivities returns the total number of activity occurrences,
+// counting multiplicity and excluding the virtual endpoints.
+func (l *Log) NumActivities() int {
+	n := 0
+	for _, v := range l.variants {
+		k := 0
+		for _, a := range v.Seq {
+			if !a.IsVirtual() {
+				k++
+			}
+		}
+		n += k * v.Mult
+	}
+	return n
+}
+
+// MappedEvents returns how many events fell inside the mapping domain
+// during construction; UnmappedEvents how many were excluded.
+func (l *Log) MappedEvents() int   { return l.mapped }
+func (l *Log) UnmappedEvents() int { return l.unmapped }
+
+// Activities returns the sorted alphabet A_f actually observed, excluding
+// the virtual endpoints.
+func (l *Log) Activities() []Activity {
+	set := make(map[Activity]bool)
+	for _, v := range l.variants {
+		for _, a := range v.Seq {
+			if !a.IsVirtual() {
+				set[a] = true
+			}
+		}
+	}
+	out := make([]Activity, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Union returns the multiset union of activity-logs, for example
+// L_f(C_x) = L_f(C_a) ∪ L_f(C_b).
+func UnionLogs(logs ...*Log) *Log {
+	out := &Log{byKey: make(map[string]*Variant)}
+	for _, l := range logs {
+		if l == nil {
+			continue
+		}
+		out.mapped += l.mapped
+		out.unmapped += l.unmapped
+		for _, v := range l.variants {
+			for i := 0; i < v.Mult; i++ {
+				var id trace.CaseID
+				if i < len(v.Cases) {
+					id = v.Cases[i]
+				}
+				out.add(v.Seq, id)
+			}
+		}
+	}
+	return out
+}
+
+// TopVariants returns the k most frequent variants (ties broken by the
+// deterministic variant order). Trace-variant ranking is the standard
+// first look at an event-log in process mining: a handful of variants
+// usually covers almost all cases.
+func (l *Log) TopVariants(k int) []*Variant {
+	out := append([]*Variant(nil), l.variants...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Mult > out[j].Mult })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Coverage returns the fraction of traces covered by the k most frequent
+// variants (1.0 when k ≥ NumVariants).
+func (l *Log) Coverage(k int) float64 {
+	total := l.NumTraces()
+	if total == 0 {
+		return 1
+	}
+	n := 0
+	for _, v := range l.TopVariants(k) {
+		n += v.Mult
+	}
+	return float64(n) / float64(total)
+}
+
+// String renders the log in the paper's multiset notation, one variant
+// per line.
+func (l *Log) String() string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, v := range l.variants {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s^%d", v.Seq, v.Mult)
+	}
+	b.WriteString("}")
+	return b.String()
+}

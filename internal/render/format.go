@@ -1,0 +1,67 @@
+// Package render turns Directly-Follows-Graphs, statistics and timelines
+// into human-readable artifacts: Graphviz DOT documents with the node
+// semantics of Figure 3a and the two coloring strategies of Section IV-C,
+// plain-text DFG listings, and ASCII timeline plots in the style of
+// Figure 5.
+package render
+
+import (
+	"fmt"
+	"time"
+)
+
+// FormatBytes renders a byte count the way the paper's figures do:
+// decimal units with two decimals ("0.75 KB", "14.98 KB", "825.82 MB",
+// "9.66 GB").
+func FormatBytes(n int64) string {
+	f := float64(n)
+	switch {
+	case f >= 1e12:
+		return fmt.Sprintf("%.2f TB", f/1e12)
+	case f >= 1e9:
+		return fmt.Sprintf("%.2f GB", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2f MB", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.2f KB", f/1e3)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// FormatRateMBs renders a data rate in MB/s with two decimals, the fixed
+// unit of the paper's "DR: <mc>x<rate> MB/s" annotations ("0.61 MB/s",
+// "3175.20 MB/s").
+func FormatRateMBs(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f MB/s", bytesPerSec/1e6)
+}
+
+// FormatLoad renders the paper's "Load:<rd> (<bytes>)" annotation;
+// activities without byte transfers omit the parenthesized part
+// (Figure 8a's openat nodes show just "Load:0.55").
+func FormatLoad(relDur float64, bytes int64, hasBytes bool) string {
+	if !hasBytes {
+		return fmt.Sprintf("Load:%.2f", relDur)
+	}
+	return fmt.Sprintf("Load:%.2f (%s)", relDur, FormatBytes(bytes))
+}
+
+// FormatDR renders the paper's "DR: <mc>x<rate>" annotation, an
+// estimation of the rate at which a file access activity induces I/O load
+// on the system (Equation 17).
+func FormatDR(maxConc int, rate float64) string {
+	return fmt.Sprintf("DR: %dx%s", maxConc, FormatRateMBs(rate))
+}
+
+// FormatDuration renders a duration compactly for tables (µs under 1ms,
+// ms under 1s, seconds above).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

@@ -1,0 +1,59 @@
+package render
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+func TestTimelineSVG(t *testing.T) {
+	id1 := trace.CaseID{CID: "b", Host: "h", RID: 9157}
+	id2 := trace.CaseID{CID: "b", Host: "h", RID: 9158}
+	intervals := []trace.Interval{
+		{Start: 0, End: time.Millisecond, Case: id1},
+		{Start: 2 * time.Millisecond, End: 3 * time.Millisecond, Case: id2},
+	}
+	out := RenderTimelineSVG(intervals, "read:/usr/lib over C_b")
+	for _, want := range []string{
+		"<svg", "</svg>", "b_h_9157", "b_h_9158", "<rect", "read:/usr/lib over C_b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// Deterministic.
+	if out != RenderTimelineSVG(intervals, "read:/usr/lib over C_b") {
+		t.Errorf("svg not deterministic")
+	}
+	// XML escaping of labels.
+	esc := RenderTimelineSVG(intervals, `a<b>&"c"`)
+	if strings.Contains(esc, `a<b>`) {
+		t.Errorf("title not escaped")
+	}
+	if !strings.Contains(esc, "&lt;b&gt;") {
+		t.Errorf("escaped form missing")
+	}
+}
+
+func TestTimelineSVGTinyBarsVisible(t *testing.T) {
+	id := trace.CaseID{CID: "c", Host: "h", RID: 1}
+	intervals := []trace.Interval{
+		{Start: 0, End: 10 * time.Second, Case: id},
+		{Start: 5 * time.Second, End: 5*time.Second + time.Microsecond, Case: trace.CaseID{CID: "c", Host: "h", RID: 2}},
+	}
+	out := RenderTimelineSVG(intervals, "")
+	// Both rows must have at least one rect (short events get the 2px
+	// minimum width).
+	if strings.Count(out, "<rect") < 3 { // background + 2 bars
+		t.Errorf("bars missing:\n%s", out)
+	}
+}
+
+func TestTimelineSVGEmpty(t *testing.T) {
+	out := RenderTimelineSVG(nil, "")
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Errorf("empty svg malformed")
+	}
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"stinspector/internal/core"
+	"stinspector/internal/lssim"
+	"stinspector/internal/pm"
+)
+
+func demoInspector() *core.Inspector {
+	_, _, cx := lssim.Both(lssim.Config{})
+	return core.FromEventLog(cx)
+}
+
+func TestGenerateBasic(t *testing.T) {
+	var b strings.Builder
+	if err := Generate(&b, demoInspector(), Options{Title: "ls vs ls -l"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ls vs ls -l",
+		"Overview",
+		"cases:        6",
+		"events:       75",
+		"Hot activities",
+		"read:/proc/filesystems", // the hottest activity leads
+		"Slowest processes",
+		"Directly-Follows-Graph",
+		"Load:",
+		"p50=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Hot activities are sorted: proc/filesystems (0.27) before
+	// usr/lib (0.22).
+	iProc := strings.Index(out, "read:/proc/filesystems")
+	iLib := strings.Index(out, "read:/usr/lib")
+	if iProc < 0 || iLib < 0 || iProc > iLib {
+		t.Errorf("hot activities out of order (proc at %d, lib at %d)", iProc, iLib)
+	}
+}
+
+func TestGenerateWithPartitionAndTimelines(t *testing.T) {
+	var b strings.Builder
+	err := Generate(&b, demoInspector(), Options{
+		GreenCIDs: []string{"a"},
+		Timelines: []pm.Activity{"read:/usr/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"partition: green = {a}",
+		"0 green / 4 red",
+		"[red]",
+		"Timeline of read:/usr/lib",
+		"#",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateTruncation(t *testing.T) {
+	var b strings.Builder
+	if err := Generate(&b, demoInspector(), Options{TopActivities: 2, TopCases: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "further activities omitted") {
+		t.Errorf("truncation note missing")
+	}
+	// Only 3 case rows.
+	section := out[strings.Index(out, "Slowest processes"):]
+	section = section[:strings.Index(section, "Directly-Follows-Graph")]
+	if got := strings.Count(section, "_host1_"); got != 3 {
+		t.Errorf("case rows = %d, want 3", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	in := demoInspector()
+	if err := Generate(&a, in, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(&b, in, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("report not deterministic")
+	}
+}
+
+func TestGenerateHTML(t *testing.T) {
+	var b strings.Builder
+	err := GenerateHTML(&b, demoInspector(), Options{
+		Title:     "html demo",
+		GreenCIDs: []string{"a"},
+		Timelines: []pm.Activity{"read:/usr/lib"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"<title>html demo</title>",
+		"Hot activities",
+		"read:/proc/filesystems",
+		"flowchart TB",
+		"partition: green = {a}",
+		"<svg",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	// The hottest activity heads the table.
+	iProc := strings.Index(out, "<td>read:/proc/filesystems</td>")
+	iLib := strings.Index(out, "<td>read:/usr/lib</td>")
+	if iProc < 0 || iLib < 0 || iProc > iLib {
+		t.Errorf("activity order wrong (proc %d, lib %d)", iProc, iLib)
+	}
+}
+
+func TestGenerateHTMLEscaping(t *testing.T) {
+	var b strings.Builder
+	if err := GenerateHTML(&b, demoInspector(), Options{Title: `<script>alert(1)</script>`}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "<script>alert") {
+		t.Errorf("title not escaped")
+	}
+}

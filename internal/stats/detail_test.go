@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"testing"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+func distLog(t *testing.T) *trace.EventLog {
+	t.Helper()
+	// 19 fast reads of 1ms and one slow read of 100ms: a contention
+	// spike signature.
+	var evs []trace.Event
+	for i := 0; i < 19; i++ {
+		evs = append(evs, trace.Event{
+			Call: "read", FP: "/f",
+			Start: time.Duration(i) * 10 * time.Millisecond,
+			Dur:   time.Millisecond, Size: 100,
+		})
+	}
+	evs = append(evs, trace.Event{
+		Call: "read", FP: "/f",
+		Start: 200 * time.Millisecond, Dur: 100 * time.Millisecond, Size: 100,
+	})
+	return trace.MustNewEventLog(trace.NewCase(trace.CaseID{CID: "d", Host: "h", RID: 1}, evs))
+}
+
+func TestComputeDistribution(t *testing.T) {
+	el := distLog(t)
+	d, ok := ComputeDistribution(el, callMapping(), "read")
+	if !ok {
+		t.Fatalf("no distribution")
+	}
+	if d.Events != 20 {
+		t.Errorf("events = %d", d.Events)
+	}
+	if d.Min != time.Millisecond || d.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", d.Min, d.Max)
+	}
+	if d.P50 != time.Millisecond {
+		t.Errorf("p50 = %v", d.P50)
+	}
+	if d.Total != 119*time.Millisecond {
+		t.Errorf("total = %v", d.Total)
+	}
+	// The single slow event carries 100/119 ≈ 0.84 of the time.
+	if d.TailShare < 0.8 || d.TailShare > 0.9 {
+		t.Errorf("tail share = %v", d.TailShare)
+	}
+	if _, ok := ComputeDistribution(el, callMapping(), "absent"); ok {
+		t.Errorf("absent activity produced a distribution")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	el := distLog(t)
+	counts, width := Histogram(el, callMapping(), "read", 10)
+	if len(counts) != 10 || width == 0 {
+		t.Fatalf("counts=%v width=%v", counts, width)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 20 {
+		t.Errorf("histogram lost events: %d", total)
+	}
+	if counts[0] != 19 || counts[9] != 1 {
+		t.Errorf("bimodal shape lost: %v", counts)
+	}
+	// Degenerate: all equal durations land in bucket 0.
+	same := trace.MustNewEventLog(trace.NewCase(trace.CaseID{CID: "s", Host: "h", RID: 1}, []trace.Event{
+		{Call: "read", Start: 0, Dur: time.Millisecond, Size: 1},
+		{Call: "read", Start: time.Second, Dur: time.Millisecond, Size: 1},
+	}))
+	counts, width = Histogram(same, callMapping(), "read", 4)
+	if width != 0 || counts[0] != 2 {
+		t.Errorf("degenerate histogram: %v %v", counts, width)
+	}
+	if counts, _ := Histogram(el, callMapping(), "absent", 4); counts != nil {
+		t.Errorf("absent activity histogram = %v", counts)
+	}
+}
+
+func TestPerCase(t *testing.T) {
+	el := mkLog(t, map[int][]trace.Event{
+		1: {
+			{Call: "read", FP: "/f", Start: 0, Dur: 10 * time.Millisecond, Size: 100},
+			{Call: "write", FP: "/g", Start: time.Second, Dur: time.Millisecond, Size: 50},
+		},
+		2: {
+			{Call: "read", FP: "/f", Start: 0, Dur: 50 * time.Millisecond, Size: 100},
+		},
+	})
+	// Per-activity view.
+	per := PerCase(el, callMapping(), "read")
+	if len(per) != 2 {
+		t.Fatalf("per = %v", per)
+	}
+	// Sorted by descending duration: rid 2 (the straggler) first.
+	if per[0].Case.RID != 2 || per[0].TotalDur != 50*time.Millisecond {
+		t.Errorf("straggler = %+v", per[0])
+	}
+	if per[1].Events != 1 || per[1].Bytes != 100 {
+		t.Errorf("per[1] = %+v", per[1])
+	}
+	// Whole-log view.
+	all := PerCase(el, callMapping(), "")
+	if len(all) != 2 || all[1].Case.RID != 1 || all[1].Events != 2 {
+		t.Errorf("all = %+v", all)
+	}
+}

@@ -1,0 +1,186 @@
+// Package stats computes the per-activity statistics of Section IV-B of
+// the paper: relative duration (Equations 6–8), total bytes moved
+// (Equation 9), process data rate (Equations 11–13) and max-concurrency
+// (Equations 14–16), plus the timeline data behind Figure 5.
+package stats
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"stinspector/internal/pm"
+	"stinspector/internal/trace"
+)
+
+// ActivityStats aggregates the paper's four statistics for one activity.
+type ActivityStats struct {
+	// Activity is the activity these statistics describe.
+	Activity pm.Activity
+	// Events is |f⁻¹(a) ∩ C|: the number of events mapping to the
+	// activity.
+	Events int
+	// TotalDur is d̄_f(a, C) of Equation (7): the summed duration of
+	// the activity's events.
+	TotalDur time.Duration
+	// RelDur is rd_f(a, C) of Equation (8): TotalDur normalized by the
+	// total duration over all activities.
+	RelDur float64
+	// Bytes is b_f(a, C) of Equation (9): total bytes moved. HasBytes
+	// is false when no event of the activity carries a transfer size
+	// (openat, lseek, ...), in which case the paper's figures omit the
+	// byte and rate annotations.
+	Bytes    int64
+	HasBytes bool
+	// ProcRate is d̄r_f(a, C) of Equation (13): the arithmetic mean
+	// over events of size/duration, in bytes per second.
+	ProcRate float64
+	// MaxConc is mc_f(a, C) of Equation (16): the maximum number of
+	// concurrent events of the activity.
+	MaxConc int
+}
+
+// Load renders the paper's node annotation "Load: rd (bytes)" semantics:
+// it returns RelDur and, when available, the byte count.
+func (s *ActivityStats) Load() (rd float64, bytes int64, hasBytes bool) {
+	return s.RelDur, s.Bytes, s.HasBytes
+}
+
+// Stats maps every activity of an activity-log to its statistics.
+type Stats struct {
+	byActivity map[pm.Activity]*ActivityStats
+	// TotalDur is the denominator of Equation (8): the summed duration
+	// across all activities.
+	TotalDur time.Duration
+}
+
+// Get returns the statistics of an activity, or nil.
+func (s *Stats) Get(a pm.Activity) *ActivityStats { return s.byActivity[a] }
+
+// Activities returns the activities with statistics, sorted.
+func (s *Stats) Activities() []pm.Activity {
+	out := make([]pm.Activity, 0, len(s.byActivity))
+	for a := range s.byActivity {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxRelDur returns the largest relative duration, used by the
+// statistics-based coloring to scale its shades.
+func (s *Stats) MaxRelDur() float64 {
+	m := 0.0
+	for _, st := range s.byActivity {
+		if st.RelDur > m {
+			m = st.RelDur
+		}
+	}
+	return m
+}
+
+// Compute derives the statistics of every activity of the event-log under
+// the mapping. The computation is a single pass over the events followed
+// by a per-activity aggregation, O(n + Σ_a k_a log k_a) where the log
+// factor comes from the max-concurrency interval sort.
+func Compute(el *trace.EventLog, m pm.Mapping) *Stats {
+	s := &Stats{byActivity: make(map[pm.Activity]*ActivityStats)}
+	type accum struct {
+		rateSum   float64
+		rateCount int
+		intervals []trace.Interval
+	}
+	acc := make(map[pm.Activity]*accum)
+
+	el.Events(func(e trace.Event) {
+		a, ok := m.Map(e)
+		if !ok {
+			return
+		}
+		st := s.byActivity[a]
+		if st == nil {
+			st = &ActivityStats{Activity: a}
+			s.byActivity[a] = st
+			acc[a] = &accum{}
+		}
+		ac := acc[a]
+		st.Events++
+		st.TotalDur += e.Dur
+		s.TotalDur += e.Dur
+		if e.HasSize() {
+			st.Bytes += e.Size
+			st.HasBytes = true
+			if e.Dur > 0 {
+				// dr(e) = e[size] / e[dur], Equation (11).
+				ac.rateSum += float64(e.Size) / e.Dur.Seconds()
+				ac.rateCount++
+			}
+		}
+		ac.intervals = append(ac.intervals, e.Interval())
+	})
+
+	for a, st := range s.byActivity {
+		ac := acc[a]
+		if ac.rateCount > 0 {
+			st.ProcRate = ac.rateSum / float64(ac.rateCount)
+		}
+		st.MaxConc = MaxConcurrency(ac.intervals)
+		if s.TotalDur > 0 {
+			st.RelDur = float64(st.TotalDur) / float64(s.TotalDur)
+		}
+	}
+	return s
+}
+
+// MaxConcurrency implements get_max_concurrency of Equation (16): sort
+// the intervals by start timestamp, sweep with a min-heap of end times,
+// and report the peak number of simultaneously open intervals. An
+// interval must strictly overlap (end > start) to count as concurrent,
+// matching the paper's "end time of the first event is greater than the
+// start time of the last event". O(k log k).
+func MaxConcurrency(intervals []trace.Interval) int {
+	if len(intervals) == 0 {
+		return 0
+	}
+	ivs := append([]trace.Interval(nil), intervals...)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	var ends endHeap
+	maxOpen := 0
+	for _, iv := range ivs {
+		for ends.Len() > 0 && ends[0] <= iv.Start {
+			heap.Pop(&ends)
+		}
+		heap.Push(&ends, iv.End)
+		if ends.Len() > maxOpen {
+			maxOpen = ends.Len()
+		}
+	}
+	return maxOpen
+}
+
+type endHeap []time.Duration
+
+func (h endHeap) Len() int           { return len(h) }
+func (h endHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
+func (h *endHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Timeline returns t_f(a, C) of Equation (15): the intervals of every
+// event of the activity, ordered by start time, with their case
+// identities. This is the data behind the timeline plot of Figure 5.
+func Timeline(el *trace.EventLog, m pm.Mapping, a pm.Activity) []trace.Interval {
+	var out []trace.Interval
+	el.Events(func(e trace.Event) {
+		if got, ok := m.Map(e); ok && got == a {
+			out = append(out, e.Interval())
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Case.Less(out[j].Case)
+	})
+	return out
+}

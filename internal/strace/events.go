@@ -1,0 +1,267 @@
+package strace
+
+import (
+	"fmt"
+	"strings"
+
+	"stinspector/internal/trace"
+)
+
+// TransferCalls is the set of system calls whose return value is a
+// transfer size (the "variants of read and write" of Section III).
+var TransferCalls = map[string]bool{
+	"read": true, "pread64": true, "readv": true, "preadv": true, "preadv2": true,
+	"write": true, "pwrite64": true, "writev": true, "pwritev": true, "pwritev2": true,
+}
+
+// IOCalls is the default set of I/O-related calls extracted into events;
+// it covers the calls traced in the paper's experiments.
+var IOCalls = map[string]bool{
+	"read": true, "pread64": true, "readv": true, "preadv": true, "preadv2": true,
+	"write": true, "pwrite64": true, "writev": true, "pwritev": true, "pwritev2": true,
+	"openat": true, "open": true, "creat": true, "close": true,
+	"lseek": true, "fsync": true, "fdatasync": true,
+}
+
+// Options configures the record-to-event conversion.
+type Options struct {
+	// Calls restricts extraction to the given call names. Nil means
+	// IOCalls; an explicitly empty (len 0, non-nil) map keeps every
+	// call.
+	Calls map[string]bool
+	// KeepFailed keeps events for calls that returned an error (the
+	// transfer size is then SizeUnknown). Interrupted calls
+	// (ERESTARTSYS) are always dropped, per Section III.
+	KeepFailed bool
+	// Strict makes structural problems (a resumed record with no
+	// matching unfinished record, or a dangling unfinished record at
+	// EOF) an error instead of a silent drop.
+	Strict bool
+}
+
+func (o Options) callWanted(name string) bool {
+	if o.Calls == nil {
+		return IOCalls[name]
+	}
+	if len(o.Calls) == 0 {
+		return true
+	}
+	return o.Calls[name]
+}
+
+// EventsFromRecords converts parsed records into events for the given
+// case, merging unfinished/resumed pairs and applying the paper's
+// filtering rules. Records must be given in file order; the resulting
+// events are ordered by start time (strace preserves event order, and the
+// merge assigns each merged call its original start timestamp).
+func EventsFromRecords(id trace.CaseID, records []Record, opts Options) ([]trace.Event, error) {
+	events := make([]trace.Event, 0, len(records))
+	// strace guarantees at most one outstanding (unfinished) call per
+	// process, so a single pending record per PID suffices.
+	pending := make(map[int]Record)
+
+	emit := func(r Record) {
+		if r.Interrupted() {
+			return
+		}
+		if r.Failed() && !opts.KeepFailed {
+			return
+		}
+		if !opts.callWanted(r.Call) {
+			return
+		}
+		events = append(events, recordToEvent(id, r))
+	}
+
+	for _, r := range records {
+		switch r.Kind {
+		case KindSyscall:
+			emit(r)
+		case KindUnfinished:
+			if prev, dup := pending[r.PID]; dup {
+				if opts.Strict {
+					return nil, fmt.Errorf("strace: case %s: line %d: pid %d has two outstanding calls (%s at line %d, %s)",
+						id, r.Line, r.PID, prev.Call, prev.Line, r.Call)
+				}
+				// Drop the stale record and start over.
+			}
+			pending[r.PID] = r
+		case KindResumed:
+			u, ok := pending[r.PID]
+			if !ok || u.Call != r.Call {
+				if opts.Strict {
+					return nil, fmt.Errorf("strace: case %s: line %d: resumed %s for pid %d without matching unfinished record",
+						id, r.Line, r.Call, r.PID)
+				}
+				continue
+			}
+			delete(pending, r.PID)
+			emit(mergeUnfinished(u, r))
+		case KindExit, KindSignal:
+			// Not system calls; ignored.
+		}
+	}
+	if len(pending) > 0 && opts.Strict {
+		for pid, u := range pending {
+			return nil, fmt.Errorf("strace: case %s: pid %d: %s at line %d never resumed",
+				id, pid, u.Call, u.Line)
+		}
+	}
+	return events, nil
+}
+
+// mergeUnfinished merges an unfinished record and its resumed counterpart
+// into a single complete record: arguments are concatenated, the start
+// timestamp comes from the unfinished half, and the return value, transfer
+// size and duration come from the resumed half (Section III).
+func mergeUnfinished(u, r Record) Record {
+	m := r
+	m.Kind = KindSyscall
+	m.Time = u.Time
+	m.Line = u.Line
+	args := append([]string(nil), u.Args...)
+	args = append(args, r.Args...)
+	// The unfinished half can end in an empty fragment when the split
+	// happened right after a comma.
+	clean := args[:0]
+	for _, a := range args {
+		if a != "" {
+			clean = append(clean, a)
+		}
+	}
+	m.Args = clean
+	m.Raw = u.Raw + " // " + r.Raw
+	return m
+}
+
+// recordToEvent applies the attribute extraction rules of Section III to a
+// complete record: the file path comes from the fd annotation of the first
+// argument (or, for openat and friends, from the annotated return fd,
+// falling back to the quoted path argument), and the transfer size from
+// the return value of read/write variants.
+func recordToEvent(id trace.CaseID, r Record) trace.Event {
+	e := trace.Event{
+		CID:   id.CID,
+		Host:  id.Host,
+		RID:   id.RID,
+		PID:   r.PID,
+		Call:  r.Call,
+		Start: r.Time,
+		Dur:   r.Dur,
+		Size:  trace.SizeUnknown,
+	}
+	e.FP = extractPath(r)
+	if TransferCalls[r.Call] && r.RetOK && r.RetPath == "" && r.RetInt >= 0 {
+		e.Size = r.RetInt
+	}
+	return e
+}
+
+// extractPath finds the file path of the record, following the
+// per-call argument conventions of strace -y output.
+func extractPath(r Record) string {
+	switch r.Call {
+	case "openat", "openat2", "newfstatat", "fstatat64", "statx",
+		"unlinkat", "mkdirat", "faccessat", "faccessat2", "readlinkat",
+		"utimensat", "fchmodat", "fchownat":
+		// openat(AT_FDCWD, "/etc/passwd", O_RDONLY) = 3</etc/passwd>
+		// openat(5</data>, "part.bin", O_RDONLY) = 6</data/part.bin>
+		if r.RetPath != "" {
+			return r.RetPath
+		}
+		if len(r.Args) >= 2 {
+			if p, ok := unquote(r.Args[1]); ok {
+				if strings.HasPrefix(p, "/") {
+					return p
+				}
+				// Relative to the dirfd: join with its
+				// annotation when present.
+				if _, dir, ok := SplitFDPath(r.Args[0]); ok {
+					return dir + "/" + p
+				}
+				return p
+			}
+		}
+	case "open", "creat", "stat", "lstat", "stat64", "access", "unlink",
+		"mkdir", "rmdir", "truncate", "readlink", "chdir", "chmod",
+		"chown", "utime", "statfs", "getxattr", "execve":
+		if r.RetPath != "" {
+			return r.RetPath
+		}
+		if len(r.Args) >= 1 {
+			if p, ok := unquote(r.Args[0]); ok {
+				return p
+			}
+		}
+	case "rename", "renameat", "renameat2", "link", "symlink":
+		// The source path identifies the activity; for the *at
+		// variants the path arguments sit at positions 1 and 3.
+		idx := 0
+		if strings.HasSuffix(r.Call, "at") || strings.HasSuffix(r.Call, "at2") {
+			idx = 1
+		}
+		if len(r.Args) > idx {
+			if p, ok := unquote(r.Args[idx]); ok {
+				return p
+			}
+		}
+	case "mmap", "mmap2":
+		// mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 3</lib/x.so>, 0):
+		// the fd is argument 5.
+		if len(r.Args) >= 5 {
+			if _, p, ok := SplitFDPath(r.Args[4]); ok {
+				return p
+			}
+		}
+		return ""
+	}
+	if p, ok := r.FirstArgPath(); ok {
+		return p
+	}
+	// Fall back to a quoted first argument for calls not listed above.
+	if len(r.Args) >= 1 {
+		if p, ok := unquote(r.Args[0]); ok {
+			return p
+		}
+	}
+	return ""
+}
+
+// unquote strips the surrounding double quotes of a C string literal
+// argument, handling strace's trailing "..." abbreviation marker.
+func unquote(s string) (string, bool) {
+	if len(s) < 2 || s[0] != '"' {
+		return "", false
+	}
+	body := s[1:]
+	if i := lastUnescapedQuote(body); i >= 0 {
+		body = body[:i]
+	} else {
+		return "", false
+	}
+	// Minimal unescaping: \" and \\ are the forms strace emits in
+	// paths.
+	var b []byte
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\\' && i+1 < len(body) {
+			i++
+			b = append(b, body[i])
+			continue
+		}
+		b = append(b, body[i])
+	}
+	return string(b), true
+}
+
+func lastUnescapedQuote(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			return i
+		}
+	}
+	return -1
+}

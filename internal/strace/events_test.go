@@ -1,0 +1,220 @@
+package strace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+var testID = trace.CaseID{CID: "a", Host: "host1", RID: 9042}
+
+func parseRecords(t *testing.T, lines ...string) []Record {
+	t.Helper()
+	recs, _, err := ReadRecords(strings.NewReader(strings.Join(lines, "\n")), false)
+	if err != nil {
+		t.Fatalf("ReadRecords: %v", err)
+	}
+	return recs
+}
+
+func TestEventsFromRecordsBasic(t *testing.T) {
+	recs := parseRecords(t,
+		`9054  08:55:54.153994 read(3</usr/lib/libselinux.so.1>, ..., 832) = 832 <0.000203>`,
+		`9054  08:55:54.163560 read(3</etc/locale.alias>, ..., 4096) = 2996 <0.000041>`,
+		`9054  08:55:54.176260 write(1</dev/pts/7>, ..., 50) = 50 <0.000111>`,
+		`9054  08:55:54.180000 +++ exited with 0 +++`,
+	)
+	events, err := EventsFromRecords(testID, recs, Options{})
+	if err != nil {
+		t.Fatalf("EventsFromRecords: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (exit record must be dropped)", len(events))
+	}
+	e := events[0]
+	if e.CID != "a" || e.Host != "host1" || e.RID != 9042 || e.PID != 9054 {
+		t.Errorf("identity not stamped: %+v", e)
+	}
+	if e.Call != "read" || e.FP != "/usr/lib/libselinux.so.1" || e.Size != 832 {
+		t.Errorf("event 0 = %+v", e)
+	}
+	if e.Dur != 203*time.Microsecond {
+		t.Errorf("dur = %v", e.Dur)
+	}
+	if events[2].FP != "/dev/pts/7" || events[2].Size != 50 {
+		t.Errorf("write event = %+v", events[2])
+	}
+}
+
+func TestEventsMergeUnfinishedResumed(t *testing.T) {
+	recs := parseRecords(t,
+		`77423  16:56:40.452431 read(3</usr/lib/libselinux.so.1>, <unfinished ...>`,
+		`77500  16:56:40.452500 write(1</dev/pts/7>, ..., 9) = 9 <0.000074>`,
+		`77423  16:56:40.452660 <... read resumed> ..., 405) = 404 <0.000223>`,
+	)
+	events, err := EventsFromRecords(testID, recs, Options{Strict: true})
+	if err != nil {
+		t.Fatalf("EventsFromRecords: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	// The merged read keeps its original start timestamp and takes
+	// duration/size from the resumed half.
+	var merged trace.Event
+	for _, e := range events {
+		if e.Call == "read" {
+			merged = e
+		}
+	}
+	wantStart := 16*time.Hour + 56*time.Minute + 40*time.Second + 452431*time.Microsecond
+	if merged.Start != wantStart {
+		t.Errorf("merged start = %v, want %v", merged.Start, wantStart)
+	}
+	if merged.Dur != 223*time.Microsecond {
+		t.Errorf("merged dur = %v", merged.Dur)
+	}
+	if merged.Size != 404 {
+		t.Errorf("merged size = %d, want 404 (transferred, not requested)", merged.Size)
+	}
+	if merged.FP != "/usr/lib/libselinux.so.1" {
+		t.Errorf("merged path = %q", merged.FP)
+	}
+	if merged.PID != 77423 {
+		t.Errorf("merged pid = %d", merged.PID)
+	}
+}
+
+func TestEventsUnfinishedAcrossPIDsDoNotMix(t *testing.T) {
+	recs := parseRecords(t,
+		`100  10:00:00.000001 read(3</a>, <unfinished ...>`,
+		`200  10:00:00.000002 read(4</b>, <unfinished ...>`,
+		`200  10:00:00.000003 <... read resumed> ..., 10) = 10 <0.000001>`,
+		`100  10:00:00.000004 <... read resumed> ..., 20) = 20 <0.000003>`,
+	)
+	events, err := EventsFromRecords(testID, recs, Options{Strict: true})
+	if err != nil {
+		t.Fatalf("EventsFromRecords: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	byPID := map[int]trace.Event{}
+	for _, e := range events {
+		byPID[e.PID] = e
+	}
+	if byPID[100].Size != 20 || byPID[100].FP != "/a" {
+		t.Errorf("pid 100 merged wrong: %+v", byPID[100])
+	}
+	if byPID[200].Size != 10 || byPID[200].FP != "/b" {
+		t.Errorf("pid 200 merged wrong: %+v", byPID[200])
+	}
+}
+
+func TestEventsDropInterrupted(t *testing.T) {
+	recs := parseRecords(t,
+		`100  10:00:00.000001 read(3</f>, ..., 4096) = ? ERESTARTSYS (To be restarted if SA_RESTART is set) <0.010000>`,
+		`100  10:00:00.020000 read(3</f>, ..., 4096) = 4096 <0.000100>`,
+	)
+	events, err := EventsFromRecords(testID, recs, Options{Strict: true})
+	if err != nil {
+		t.Fatalf("EventsFromRecords: %v", err)
+	}
+	if len(events) != 1 || events[0].Size != 4096 {
+		t.Errorf("events = %+v, want only the restarted read", events)
+	}
+}
+
+func TestEventsFailedCalls(t *testing.T) {
+	lines := []string{
+		`100  10:00:00.000001 openat(AT_FDCWD, "/missing", O_RDONLY) = -1 ENOENT (No such file or directory) <0.000008>`,
+		`100  10:00:00.000002 read(3</f>, ..., 100) = 100 <0.000001>`,
+	}
+	recs := parseRecords(t, lines...)
+	events, err := EventsFromRecords(testID, recs, Options{})
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	if len(events) != 1 {
+		t.Errorf("default drops failed calls: got %d events", len(events))
+	}
+	events, err = EventsFromRecords(testID, recs, Options{KeepFailed: true})
+	if err != nil {
+		t.Fatalf("KeepFailed: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("KeepFailed: got %d events", len(events))
+	}
+	if events[0].Call != "openat" || events[0].FP != "/missing" || events[0].HasSize() {
+		t.Errorf("failed openat event = %+v", events[0])
+	}
+}
+
+func TestEventsCallFilter(t *testing.T) {
+	recs := parseRecords(t,
+		`100  10:00:00.000001 read(3</f>, ..., 10) = 10 <0.000001>`,
+		`100  10:00:00.000002 mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 3</f>, 0) = 0x7f0000000000 <0.000002>`,
+		`100  10:00:00.000003 close(3</f>) = 0 <0.000001>`,
+	)
+	// Default set: read and close survive, mmap does not.
+	events, _ := EventsFromRecords(testID, recs, Options{})
+	if len(events) != 2 {
+		t.Errorf("default set kept %d events, want 2", len(events))
+	}
+	// Explicit set.
+	events, _ = EventsFromRecords(testID, recs, Options{Calls: map[string]bool{"read": true}})
+	if len(events) != 1 || events[0].Call != "read" {
+		t.Errorf("explicit set: %+v", events)
+	}
+	// Empty non-nil set keeps everything.
+	events, _ = EventsFromRecords(testID, recs, Options{Calls: map[string]bool{}})
+	if len(events) != 3 {
+		t.Errorf("keep-all set kept %d events, want 3", len(events))
+	}
+	// mmap return is a pointer; it must not be mistaken for a size.
+	for _, e := range events {
+		if e.Call == "mmap" && e.HasSize() {
+			t.Errorf("mmap got a transfer size: %+v", e)
+		}
+	}
+}
+
+func TestEventsStrictErrors(t *testing.T) {
+	// Resumed without unfinished.
+	recs := parseRecords(t, `100  10:00:00.000003 <... read resumed> ..., 10) = 10 <0.000001>`)
+	if _, err := EventsFromRecords(testID, recs, Options{Strict: true}); err == nil {
+		t.Errorf("strict mode accepted dangling resumed record")
+	}
+	if _, err := EventsFromRecords(testID, recs, Options{}); err != nil {
+		t.Errorf("lenient mode rejected dangling resumed record: %v", err)
+	}
+	// Unfinished never resumed.
+	recs = parseRecords(t, `100  10:00:00.000003 read(3</f>, <unfinished ...>`)
+	if _, err := EventsFromRecords(testID, recs, Options{Strict: true}); err == nil {
+		t.Errorf("strict mode accepted dangling unfinished record")
+	}
+	// Two outstanding calls for one pid.
+	recs = parseRecords(t,
+		`100  10:00:00.000001 read(3</f>, <unfinished ...>`,
+		`100  10:00:00.000002 write(4</g>, <unfinished ...>`,
+	)
+	if _, err := EventsFromRecords(testID, recs, Options{Strict: true}); err == nil {
+		t.Errorf("strict mode accepted two outstanding calls for one pid")
+	}
+}
+
+func TestEventsMismatchedResumeCall(t *testing.T) {
+	recs := parseRecords(t,
+		`100  10:00:00.000001 read(3</f>, <unfinished ...>`,
+		`100  10:00:00.000002 <... write resumed> ..., 10) = 10 <0.000001>`,
+	)
+	if _, err := EventsFromRecords(testID, recs, Options{Strict: true}); err == nil {
+		t.Errorf("strict mode accepted mismatched resumed call name")
+	}
+	events, err := EventsFromRecords(testID, recs, Options{})
+	if err != nil || len(events) != 0 {
+		t.Errorf("lenient mode: events=%v err=%v", events, err)
+	}
+}

@@ -1,0 +1,148 @@
+package strace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"stinspector/internal/trace"
+)
+
+// ReadRecords parses every line of an strace output stream into records.
+// Unparseable lines are returned as errors unless lenient is true, in
+// which case they are skipped and counted.
+func ReadRecords(r io.Reader, lenient bool) ([]Record, int, error) {
+	var (
+		records []Record
+		skipped int
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		rec, err := ParseLine(text)
+		if err != nil {
+			if lenient {
+				skipped++
+				continue
+			}
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line = line
+			}
+			return nil, skipped, err
+		}
+		rec.Line = line
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("strace: reading trace: %w", err)
+	}
+	return records, skipped, nil
+}
+
+// ParseCase parses a single trace stream into a case with the given
+// identity.
+func ParseCase(id trace.CaseID, r io.Reader, opts Options) (*trace.Case, error) {
+	records, _, err := ReadRecords(r, !opts.Strict)
+	if err != nil {
+		return nil, err
+	}
+	events, err := EventsFromRecords(id, records, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewCase(id, events), nil
+}
+
+// ParseFile parses one trace file whose name follows the
+// "<cid>_<host>_<rid>.st" convention of Figure 1.
+func ParseFile(path string, opts Options) (*trace.Case, error) {
+	id, err := trace.ParseCaseID(filepath.Base(path))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseCase(id, f, opts)
+}
+
+// ReadDir parses every "*.st" trace file in dir into an event-log. It is
+// the bulk ingestion step that the paper performs before consolidating
+// the cases into a single HDF5 file.
+func ReadDir(dir string, opts Options) (*trace.EventLog, error) {
+	return ReadFS(os.DirFS(dir), ".", opts)
+}
+
+// ReadFS is ReadDir over an fs.FS, enabling tests to use in-memory
+// filesystems.
+func ReadFS(fsys fs.FS, root string, opts Options) (*trace.EventLog, error) {
+	entries, err := fs.ReadDir(fsys, root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(ent.Name(), ".st") || strings.HasSuffix(ent.Name(), ".st.gz") {
+			names = append(names, ent.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("strace: no *.st or *.st.gz trace files under %q", root)
+	}
+	log, err := trace.NewEventLog()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		id, err := trace.ParseCaseID(strings.TrimSuffix(name, ".gz"))
+		if err != nil {
+			return nil, err
+		}
+		f, err := fsys.Open(filepath.Join(root, name))
+		if err != nil {
+			return nil, err
+		}
+		var r io.Reader = f
+		var gz *gzip.Reader
+		if strings.HasSuffix(name, ".gz") {
+			gz, err = gzip.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("strace: %s: %w", name, err)
+			}
+			r = gz
+		}
+		c, err := ParseCase(id, r, opts)
+		if gz != nil {
+			if cerr := gz.Close(); err == nil && cerr != nil {
+				err = cerr
+			}
+		}
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("strace: %s: %w", name, err)
+		}
+		if err := log.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return log, nil
+}

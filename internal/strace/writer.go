@@ -1,0 +1,161 @@
+package strace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+// Writer renders events as strace-compatible text, one process's records
+// per stream, reproducing the format of Figure 2. It is used by the
+// workload simulators so that the full parser code path is exercised on
+// synthetic traces, and by tests for round-trip verification.
+type Writer struct {
+	w io.Writer
+	// fds assigns stable, realistic file descriptor numbers per path,
+	// starting from 3 (0-2 are the standard streams; /dev/pts gets 1).
+	fds    map[string]int
+	nextFD int
+	err    error
+}
+
+// NewWriter creates a writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, fds: make(map[string]int), nextFD: 3}
+}
+
+// fd returns the descriptor number used for a path.
+func (sw *Writer) fd(path string) int {
+	if isTerminal(path) {
+		return 1
+	}
+	if fd, ok := sw.fds[path]; ok {
+		return fd
+	}
+	fd := sw.nextFD
+	sw.fds[path] = fd
+	sw.nextFD++
+	return fd
+}
+
+func isTerminal(path string) bool {
+	return len(path) >= 9 && path[:9] == "/dev/pts/"
+}
+
+func (sw *Writer) printf(format string, args ...any) {
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = fmt.Fprintf(sw.w, format, args...)
+}
+
+// Err returns the first write error encountered.
+func (sw *Writer) Err() error { return sw.err }
+
+// WriteEvent renders one event as a complete system-call record.
+func (sw *Writer) WriteEvent(e trace.Event) {
+	ts := trace.FormatTimeOfDay(e.Start)
+	dur := fmtSeconds(e.Dur)
+	switch {
+	case e.Call == "openat":
+		sw.printf("%d  %s openat(AT_FDCWD, %q, O_RDWR|O_CREAT, 0644) = %d<%s> <%s>\n",
+			e.PID, ts, e.FP, sw.fd(e.FP), e.FP, dur)
+	case e.Call == "close":
+		sw.printf("%d  %s close(%d<%s>) = 0 <%s>\n",
+			e.PID, ts, sw.fd(e.FP), e.FP, dur)
+	case e.Call == "lseek":
+		sw.printf("%d  %s lseek(%d<%s>, 0, SEEK_SET) = 0 <%s>\n",
+			e.PID, ts, sw.fd(e.FP), e.FP, dur)
+	case e.Call == "fsync" || e.Call == "fdatasync":
+		sw.printf("%d  %s %s(%d<%s>) = 0 <%s>\n",
+			e.PID, ts, e.Call, sw.fd(e.FP), e.FP, dur)
+	case TransferCalls[e.Call]:
+		size := e.Size
+		if size < 0 {
+			size = 0
+		}
+		sw.printf("%d  %s %s(%d<%s>, ..., %d) = %d <%s>\n",
+			e.PID, ts, e.Call, sw.fd(e.FP), e.FP, size, size, dur)
+	default:
+		sw.printf("%d  %s %s(%d<%s>) = 0 <%s>\n",
+			e.PID, ts, e.Call, sw.fd(e.FP), e.FP, dur)
+	}
+}
+
+// WriteUnfinishedPair renders an event as an unfinished/resumed record
+// pair with the given interleaving gap, exercising the merge path of the
+// parser (Figure 2c).
+func (sw *Writer) WriteUnfinishedPair(e trace.Event) {
+	ts := trace.FormatTimeOfDay(e.Start)
+	rts := trace.FormatTimeOfDay(e.End())
+	dur := fmtSeconds(e.Dur)
+	size := e.Size
+	if size < 0 {
+		size = 0
+	}
+	sw.printf("%d  %s %s(%d<%s>, <unfinished ...>\n", e.PID, ts, e.Call, sw.fd(e.FP), e.FP)
+	sw.printf("%d  %s <... %s resumed> ..., %d) = %d <%s>\n", e.PID, rts, e.Call, size, size, dur)
+}
+
+// fmtSeconds renders a duration in strace's "<seconds.micros>" body form
+// exactly (integer arithmetic, microsecond resolution).
+func fmtSeconds(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	return fmt.Sprintf("%d.%06d", us/1e6, us%1e6)
+}
+
+// WriteExit renders a process exit record.
+func (sw *Writer) WriteExit(pid int, at time.Duration, status int) {
+	sw.printf("%d  %s +++ exited with %d +++\n", pid, trace.FormatTimeOfDay(at), status)
+}
+
+// WriteCase renders every event of a case in order, followed by an exit
+// record.
+func (sw *Writer) WriteCase(c *trace.Case) error {
+	for _, e := range c.Events {
+		sw.WriteEvent(e)
+	}
+	if len(c.Events) > 0 {
+		last := c.Events[len(c.Events)-1]
+		sw.printf("%d  %s +++ exited with 0 +++\n", last.PID, trace.FormatTimeOfDay(last.End()))
+	}
+	return sw.err
+}
+
+// WriteDir writes one "<cid>_<host>_<rid>.st" file per case of the
+// event-log into dir, mirroring the recording setup of Figure 1.
+func WriteDir(dir string, log *trace.EventLog) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ids := make([]trace.CaseID, 0, log.NumCases())
+	for _, c := range log.Cases() {
+		ids = append(ids, c.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		c := log.Case(id)
+		f, err := os.Create(filepath.Join(dir, id.FileName()))
+		if err != nil {
+			return err
+		}
+		sw := NewWriter(f)
+		werr := sw.WriteCase(c)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func mkEvent(cid string, rid, pid int, call string, start, dur time.Duration, fp string, size int64) Event {
+	return Event{CID: cid, Host: "host1", RID: rid, PID: pid, Call: call, Start: start, Dur: dur, FP: fp, Size: size}
+}
+
+func TestEventEnd(t *testing.T) {
+	e := mkEvent("a", 1, 2, "read", 10*time.Second, 3*time.Millisecond, "/etc/passwd", 42)
+	if got, want := e.End(), 10*time.Second+3*time.Millisecond; got != want {
+		t.Errorf("End() = %v, want %v", got, want)
+	}
+}
+
+func TestEventHasSize(t *testing.T) {
+	with := mkEvent("a", 1, 2, "read", 0, 0, "/f", 0)
+	if !with.HasSize() {
+		t.Errorf("size 0 should count as a size (zero-byte read at EOF)")
+	}
+	without := mkEvent("a", 1, 2, "openat", 0, 0, "/f", SizeUnknown)
+	if without.HasSize() {
+		t.Errorf("SizeUnknown should not count as a size")
+	}
+}
+
+func TestEventCaseID(t *testing.T) {
+	e := mkEvent("b", 9157, 9173, "write", 0, 0, "/dev/pts/7", 9)
+	want := CaseID{CID: "b", Host: "host1", RID: 9157}
+	if e.CaseID() != want {
+		t.Errorf("CaseID() = %v, want %v", e.CaseID(), want)
+	}
+}
+
+func TestEventInterval(t *testing.T) {
+	e := mkEvent("a", 1, 2, "read", time.Second, time.Millisecond, "/f", 1)
+	iv := e.Interval()
+	if iv.Start != time.Second || iv.End != time.Second+time.Millisecond {
+		t.Errorf("Interval() = %+v", iv)
+	}
+	if iv.Case != e.CaseID() {
+		t.Errorf("Interval case = %v, want %v", iv.Case, e.CaseID())
+	}
+	if got, want := iv.Len(), time.Millisecond; got != want {
+		t.Errorf("Len() = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	a := Interval{Start: 0, End: 10}
+	tests := []struct {
+		b    Interval
+		want bool
+	}{
+		{Interval{Start: 5, End: 15}, true},
+		{Interval{Start: 10, End: 20}, false}, // touching closed-open ranges do not overlap
+		{Interval{Start: -5, End: 0}, false},
+		{Interval{Start: -5, End: 1}, true},
+		{Interval{Start: 2, End: 3}, true},
+	}
+	for _, tc := range tests {
+		if got := a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(a); got != tc.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v (symmetry)", tc.b, a, got, tc.want)
+		}
+	}
+}
+
+func TestFormatTimeOfDay(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "00:00:00.000000"},
+		{8*time.Hour + 55*time.Minute + 54*time.Second + 153994*time.Microsecond, "08:55:54.153994"},
+		{25 * time.Hour, "01:00:00.000000"}, // wraps past midnight
+		{23*time.Hour + 59*time.Minute + 59*time.Second + 999999*time.Microsecond, "23:59:59.999999"},
+	}
+	for _, tc := range tests {
+		if got := FormatTimeOfDay(tc.d); got != tc.want {
+			t.Errorf("FormatTimeOfDay(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	e := mkEvent("a", 9042, 9054, "read", 8*time.Hour, 203*time.Microsecond, "/usr/lib/libc.so.6", 832)
+	s := e.String()
+	for _, sub := range []string{"a_host1_9042", "read", "/usr/lib/libc.so.6", "=832"} {
+		if !contains(s, sub) {
+			t.Errorf("String() = %q, missing %q", s, sub)
+		}
+	}
+	o := mkEvent("a", 9042, 9054, "openat", 8*time.Hour, time.Microsecond, "/etc/passwd", SizeUnknown)
+	if contains(o.String(), "=") {
+		t.Errorf("sizeless String() = %q should not render a size", o.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

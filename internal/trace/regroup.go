@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// RegroupByPID re-derives the event-log's cases at process granularity:
+// events are grouped by (cid, host, pid) instead of (cid, host, rid).
+//
+// Section IV of the paper defines a case as the events of one trace file
+// (one rid) and notes: "we do not distinguish between different SMT or
+// OpenMP processes within the same MPI process. However, one could do so
+// by re-defining case as a group of events belonging to the same cid,
+// host, and pid (instead of rid)." This function implements that
+// redefinition.
+//
+// The PID becomes the RID of the new case identities (the trace-file
+// naming convention has no separate pid slot); the events keep their
+// original PID attribute. If two different rids on one host share a pid
+// (possible only across unrelated recordings), their events merge into
+// one case, ordered by start time.
+func (l *EventLog) RegroupByPID() *EventLog {
+	groups := make(map[CaseID][]Event)
+	for _, c := range l.cases {
+		for _, e := range c.Events {
+			id := CaseID{CID: e.CID, Host: e.Host, RID: e.PID}
+			ev := e
+			ev.RID = e.PID
+			groups[id] = append(groups[id], ev)
+		}
+	}
+	ids := make([]CaseID, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	out := &EventLog{byID: make(map[CaseID]*Case, len(ids))}
+	for _, id := range ids {
+		c := NewCase(id, groups[id])
+		out.cases = append(out.cases, c)
+		out.byID[id] = c
+	}
+	return out
+}
+
+// SplitByCID splits the event-log into one log per command identifier,
+// keyed by CID. Cases are shared, not copied.
+func (l *EventLog) SplitByCID() map[string]*EventLog {
+	out := make(map[string]*EventLog)
+	for _, c := range l.cases {
+		sub, ok := out[c.ID.CID]
+		if !ok {
+			sub = &EventLog{byID: make(map[CaseID]*Case)}
+			out[c.ID.CID] = sub
+		}
+		sub.cases = append(sub.cases, c)
+		sub.byID[c.ID] = c
+	}
+	return out
+}
+
+// TimeShift returns a copy of the log with every event of every case
+// shifted by the per-case delta. It is used to emulate clock offsets
+// across hosts and to align recordings taken at different times of day.
+func (l *EventLog) TimeShift(delta func(CaseID) time.Duration) *EventLog {
+	out := l.Clone()
+	for _, c := range out.cases {
+		d := delta(c.ID)
+		for i := range c.Events {
+			c.Events[i].Start += d
+		}
+	}
+	return out
+}

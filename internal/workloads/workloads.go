@@ -1,0 +1,277 @@
+// Package workloads implements the "typical HPC workloads" the paper's
+// conclusion names as future work, on top of the same simulated substrate
+// as the IOR reproduction (mpisim + simfs). Each workload produces an
+// event-log whose DFG exposes a characteristic I/O pattern:
+//
+//   - Checkpoint: bulk-synchronous compute with periodic checkpoint
+//     phases (shared file or file-per-process), the dominant I/O pattern
+//     of long-running simulations;
+//   - MetadataStorm: many small per-rank files created, written, read
+//     back and removed in one shared directory — the "metadata wall"
+//     of reference [22];
+//   - SharedLog: all ranks appending small records to one shared log
+//     file, the worst case for byte-range write tokens.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"stinspector/internal/iorsim"
+	"stinspector/internal/mpisim"
+	"stinspector/internal/simfs"
+	"stinspector/internal/trace"
+)
+
+// Result carries a workload's artifacts.
+type Result struct {
+	Log   *trace.EventLog
+	FS    *simfs.FS
+	World *mpisim.World
+	Site  iorsim.Site
+}
+
+// run is the shared driver: it builds the world/fs pair, asks build for
+// one program per rank, and collects the event-log.
+func run(cid string, ranks, hosts int, seed int64, params *simfs.Params,
+	build func(fs *simfs.FS, world *mpisim.World, r *mpisim.Rank) mpisim.Program) (*Result, error) {
+
+	p := simfs.DefaultParams()
+	if params != nil {
+		p = *params
+	}
+	fs := simfs.New(p, seed)
+	world := mpisim.NewWorld(mpisim.Config{Ranks: ranks, Hosts: hosts, Seed: seed + 1, BaseRID: 80000})
+	programs := make([]mpisim.Program, ranks)
+	for i, r := range world.Ranks {
+		programs[i] = build(fs, world, r)
+	}
+	if err := mpisim.NewEngine(world).Run(programs); err != nil {
+		return nil, err
+	}
+	log, err := world.EventLog(cid)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Log: log, FS: fs, World: world, Site: iorsim.DefaultSite()}, nil
+}
+
+// syscall helpers shared by the workload builders.
+
+func opOpen(fs *simfs.FS, path string, writable bool) mpisim.Action {
+	return mpisim.Syscall("openat", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Open(r.ID, now, path, writable), -1
+	})
+}
+
+func opWrite(fs *simfs.FS, path string, off, size int64) mpisim.Action {
+	return mpisim.Syscall("write", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Write(r.ID, now, path, off, size), size
+	})
+}
+
+func opRead(fs *simfs.FS, path string, off, size int64) mpisim.Action {
+	return mpisim.Syscall("read", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Read(r.ID, now, path, off, size), size
+	})
+}
+
+func opFsync(fs *simfs.FS, path string) mpisim.Action {
+	return mpisim.Syscall("fsync", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Fsync(path), -1
+	})
+}
+
+func opClose(fs *simfs.FS, path string) mpisim.Action {
+	return mpisim.Syscall("close", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Close(), -1
+	})
+}
+
+func opUnlink(fs *simfs.FS, path string) mpisim.Action {
+	return mpisim.Syscall("unlink", path, func(r *mpisim.Rank, now time.Duration) (time.Duration, int64) {
+		return fs.Unlink(r.ID, now, path), -1
+	})
+}
+
+// CheckpointConfig configures the checkpoint workload.
+type CheckpointConfig struct {
+	CID    string
+	Ranks  int
+	Hosts  int
+	Rounds int
+	// StepCompute is the simulated compute time per round.
+	StepCompute time.Duration
+	// CheckpointBytes is the per-rank checkpoint size, written in
+	// 1 MiB transfers.
+	CheckpointBytes int64
+	// Shared writes one shared checkpoint file per round; otherwise
+	// each rank writes its own file per round.
+	Shared bool
+	Seed   int64
+	Params *simfs.Params
+}
+
+func (c CheckpointConfig) withDefaults() CheckpointConfig {
+	if c.CID == "" {
+		c.CID = "ckpt"
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 2
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.StepCompute <= 0 {
+		c.StepCompute = 50 * time.Millisecond
+	}
+	if c.CheckpointBytes <= 0 {
+		c.CheckpointBytes = 8 << 20
+	}
+	return c
+}
+
+// Checkpoint runs the bulk-synchronous checkpoint workload.
+func Checkpoint(cfg CheckpointConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	site := iorsim.DefaultSite()
+	const transfer = 1 << 20
+	return run(cfg.CID, cfg.Ranks, cfg.Hosts, cfg.Seed, cfg.Params,
+		func(fs *simfs.FS, world *mpisim.World, r *mpisim.Rank) mpisim.Program {
+			var p mpisim.Program
+			for round := 0; round < cfg.Rounds; round++ {
+				p = append(p, mpisim.Compute(cfg.StepCompute))
+				p = append(p, mpisim.Barrier())
+				var path string
+				var base int64
+				if cfg.Shared {
+					path = fmt.Sprintf("%s/ckpt/step%04d", site.Scratch, round)
+					base = int64(r.ID) * cfg.CheckpointBytes
+				} else {
+					path = fmt.Sprintf("%s/ckpt/step%04d.%08d", site.Scratch, round, r.ID)
+				}
+				p = append(p, opOpen(fs, path, true))
+				for off := int64(0); off < cfg.CheckpointBytes; off += transfer {
+					p = append(p, opWrite(fs, path, base+off, transfer))
+				}
+				p = append(p, opFsync(fs, path), opClose(fs, path))
+				p = append(p, mpisim.Barrier())
+			}
+			return p
+		})
+}
+
+// MetadataStormConfig configures the metadata-storm workload.
+type MetadataStormConfig struct {
+	CID   string
+	Ranks int
+	Hosts int
+	// FilesPerRank small files are created, written, read and removed
+	// by each rank, all in one shared directory.
+	FilesPerRank int
+	FileBytes    int64
+	Seed         int64
+	Params       *simfs.Params
+}
+
+func (c MetadataStormConfig) withDefaults() MetadataStormConfig {
+	if c.CID == "" {
+		c.CID = "meta"
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 2
+	}
+	if c.FilesPerRank <= 0 {
+		c.FilesPerRank = 16
+	}
+	if c.FileBytes <= 0 {
+		c.FileBytes = 4096
+	}
+	return c
+}
+
+// MetadataStorm runs the many-small-files workload.
+func MetadataStorm(cfg MetadataStormConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	site := iorsim.DefaultSite()
+	return run(cfg.CID, cfg.Ranks, cfg.Hosts, cfg.Seed, cfg.Params,
+		func(fs *simfs.FS, world *mpisim.World, r *mpisim.Rank) mpisim.Program {
+			var p mpisim.Program
+			p = append(p, mpisim.Barrier())
+			for i := 0; i < cfg.FilesPerRank; i++ {
+				path := fmt.Sprintf("%s/meta/f.%08d.%04d", site.Scratch, r.ID, i)
+				p = append(p,
+					opOpen(fs, path, true),
+					opWrite(fs, path, 0, cfg.FileBytes),
+					opClose(fs, path),
+					opOpen(fs, path, false),
+					opRead(fs, path, 0, cfg.FileBytes),
+					opClose(fs, path),
+					opUnlink(fs, path),
+				)
+			}
+			p = append(p, mpisim.Barrier())
+			return p
+		})
+}
+
+// SharedLogConfig configures the shared-append workload.
+type SharedLogConfig struct {
+	CID   string
+	Ranks int
+	Hosts int
+	// Records per rank, each RecordBytes long, appended round-robin to
+	// one shared log file.
+	Records     int
+	RecordBytes int64
+	Seed        int64
+	Params      *simfs.Params
+}
+
+func (c SharedLogConfig) withDefaults() SharedLogConfig {
+	if c.CID == "" {
+		c.CID = "shlog"
+	}
+	if c.Ranks <= 0 {
+		c.Ranks = 8
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 2
+	}
+	if c.Records <= 0 {
+		c.Records = 32
+	}
+	if c.RecordBytes <= 0 {
+		c.RecordBytes = 64 << 10
+	}
+	return c
+}
+
+// SharedLog runs the shared-append workload: rank r's i-th record lands
+// at offset (i*ranks + r) * recordBytes, so consecutive appends by
+// different ranks always touch adjacent ranges — maximal write-token
+// bouncing.
+func SharedLog(cfg SharedLogConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	site := iorsim.DefaultSite()
+	path := site.Scratch + "/log/app.log"
+	return run(cfg.CID, cfg.Ranks, cfg.Hosts, cfg.Seed, cfg.Params,
+		func(fs *simfs.FS, world *mpisim.World, r *mpisim.Rank) mpisim.Program {
+			var p mpisim.Program
+			p = append(p, opOpen(fs, path, true))
+			p = append(p, mpisim.Barrier())
+			for i := 0; i < cfg.Records; i++ {
+				off := (int64(i)*int64(cfg.Ranks) + int64(r.ID)) * cfg.RecordBytes
+				p = append(p, opWrite(fs, path, off, cfg.RecordBytes))
+				p = append(p, mpisim.Compute(time.Millisecond))
+			}
+			p = append(p, mpisim.Barrier())
+			return p
+		})
+}

@@ -1,0 +1,217 @@
+// Package stinspector is a Go implementation of the methodology of
+// "Inspection of I/O Operations from System Call Traces using
+// Directly-Follows-Graph" (Sankaran, Zhukov, Frings, Bientinesi; SC-W
+// 2024, arXiv:2408.07378): it parses strace system-call traces into
+// event-logs, abstracts events into activities through user-defined
+// mappings, synthesizes Directly-Follows-Graphs annotated with I/O
+// statistics (relative duration, bytes moved, process data rate,
+// max-concurrency), and compares program configurations through
+// statistics-based or partition-based graph coloring.
+//
+// The package is a facade over the implementation packages under
+// internal/; it exposes everything a downstream user needs:
+//
+//	in, err := stinspector.FromStraceDir("traces/", stinspector.ParseOptions{})
+//	in = in.FilterPath("/usr/lib").WithMapping(stinspector.CallTopDirs{Depth: 2})
+//	fmt.Println(in.RenderDOT(stinspector.StatisticsColoring{Stats: in.Stats()}))
+//
+// The repository also contains full simulations of the paper's
+// experimental substrate (an IOR-compatible workload engine over a
+// GPFS-like filesystem model) and an experiment harness regenerating
+// every figure of the paper; see cmd/stbench and internal/experiments.
+package stinspector
+
+import (
+	"io"
+
+	"stinspector/internal/archive"
+	"stinspector/internal/core"
+	"stinspector/internal/dfg"
+	"stinspector/internal/pm"
+	"stinspector/internal/render"
+	"stinspector/internal/stats"
+	"stinspector/internal/strace"
+	"stinspector/internal/trace"
+)
+
+// Event model (Section III-IV of the paper).
+type (
+	// Event is one system-call record, e = [cid, host, rid, pid,
+	// call, start, dur, fp, size].
+	Event = trace.Event
+	// CaseID identifies a case (one trace file): cid, host, rid.
+	CaseID = trace.CaseID
+	// Case is the time-ordered event sequence of one process.
+	Case = trace.Case
+	// EventLog is a set of cases.
+	EventLog = trace.EventLog
+	// Interval is a (start, end, case) tuple used by timelines and
+	// max-concurrency.
+	Interval = trace.Interval
+)
+
+// SizeUnknown marks events whose call transfers no bytes.
+const SizeUnknown = trace.SizeUnknown
+
+// Process-mining layer (Section IV).
+type (
+	// Activity is a named entity events map to, e.g. "read:/usr/lib".
+	Activity = pm.Activity
+	// Mapping is the partial function f : E ⇀ A_f.
+	Mapping = pm.Mapping
+	// MappingFunc adapts a function to Mapping.
+	MappingFunc = pm.MappingFunc
+	// CallTopDirs is the paper's mapping f̂ (call + top directories).
+	CallTopDirs = pm.CallTopDirs
+	// CallFileName maps to call + trailing path components (Figure 4).
+	CallFileName = pm.CallFileName
+	// EnvMapping abstracts paths by site variables ($SCRATCH, ...).
+	EnvMapping = pm.EnvMapping
+	// PrefixVar is one prefix-to-variable rule of an EnvMapping.
+	PrefixVar = pm.PrefixVar
+	// ActivityLog is the multiset of activity traces L_f(C).
+	ActivityLog = pm.Log
+)
+
+// Virtual start/end activities of every trace.
+const (
+	Start = pm.Start
+	End   = pm.End
+)
+
+// DFG layer (Section IV-A, IV-C).
+type (
+	// DFG is the Directly-Follows-Graph with occurrence counts.
+	DFG = dfg.Graph
+	// Edge is one directly-follows relation.
+	Edge = dfg.Edge
+	// Partition classifies nodes/edges as green/red/shared.
+	Partition = dfg.Partition
+	// Class is a partition color class.
+	Class = dfg.Class
+	// Footprint is the activity-relation matrix of a DFG.
+	Footprint = dfg.Footprint
+	// Relation is one footprint cell (→, ←, ∥, #).
+	Relation = dfg.Relation
+	// FootprintDiff is one structural difference between footprints.
+	FootprintDiff = dfg.FootprintDiff
+)
+
+// NewFootprint derives the relation matrix of a DFG.
+func NewFootprint(g *DFG) *Footprint { return dfg.NewFootprint(g) }
+
+// Partition color classes.
+const (
+	Shared = dfg.Shared
+	Green  = dfg.Green
+	Red    = dfg.Red
+)
+
+// Statistics layer (Section IV-B).
+type (
+	// Stats holds the per-activity statistics.
+	Stats = stats.Stats
+	// ActivityStats are the four statistics of one activity.
+	ActivityStats = stats.ActivityStats
+	// Distribution summarizes an activity's duration distribution
+	// (median, tail quantiles, tail share).
+	Distribution = stats.Distribution
+	// CaseSummary is one process's contribution to an activity.
+	CaseSummary = stats.CaseSummary
+)
+
+// Rendering layer.
+type (
+	// Styler decides node/edge styles for DOT rendering.
+	Styler = render.Styler
+	// StatisticsColoring shades nodes by relative duration.
+	StatisticsColoring = render.StatisticsColoring
+	// PartitionColoring colors nodes green/red by partition class.
+	PartitionColoring = render.PartitionColoring
+	// PlainStyle renders without coloring.
+	PlainStyle = render.PlainStyle
+)
+
+// Inspector is the synthesis pipeline of the paper's Figure 6.
+type Inspector = core.Inspector
+
+// ParseOptions configures strace ingestion.
+type ParseOptions = strace.Options
+
+// FromStraceDir parses every *.st trace file under dir.
+func FromStraceDir(dir string, opts ParseOptions) (*Inspector, error) {
+	return core.FromStraceDir(dir, opts)
+}
+
+// FromArchive loads a consolidated STA event-log file.
+func FromArchive(path string) (*Inspector, error) { return core.FromArchive(path) }
+
+// FromDXT ingests a Darshan DXT text dump, the alternative
+// instrumentation source of the paper's Section II remark.
+func FromDXT(cid string, r io.Reader) (*Inspector, error) { return core.FromDXT(cid, r) }
+
+// FromEventLog wraps an event-log with the default mapping f̂.
+func FromEventLog(el *EventLog) *Inspector { return core.FromEventLog(el) }
+
+// WriteArchive consolidates an event-log into a single STA file, the
+// counterpart of the paper's HDF5 consolidation step.
+func WriteArchive(path string, el *EventLog) error { return archive.WriteFile(path, el) }
+
+// ReadArchive loads an event-log from an STA file.
+func ReadArchive(path string) (*EventLog, error) { return archive.ReadLog(path) }
+
+// BuildDFG synthesizes the DFG of an event-log under a mapping, with the
+// virtual start/end activities appended.
+func BuildDFG(el *EventLog, m Mapping) *DFG {
+	return dfg.Build(pm.Build(el, m, pm.BuildOptions{Endpoints: true}))
+}
+
+// ComputeStats computes the Section IV-B statistics.
+func ComputeStats(el *EventLog, m Mapping) *Stats { return stats.Compute(el, m) }
+
+// Classify performs the partition-based classification of Section IV-C.
+func Classify(full, green, red *DFG) *Partition { return dfg.Classify(full, green, red) }
+
+// MaxConcurrency computes mc over a set of intervals (Equation 16).
+func MaxConcurrency(intervals []Interval) int { return stats.MaxConcurrency(intervals) }
+
+// Timeline extracts t_f(a, C), the Figure 5 interval data.
+func Timeline(el *EventLog, m Mapping, a Activity) []Interval {
+	return stats.Timeline(el, m, a)
+}
+
+// RenderDOT renders a DFG as a Graphviz document.
+func RenderDOT(g *DFG, s *Stats, styler Styler) string { return render.RenderDOT(g, s, styler) }
+
+// RenderText renders a DFG as a deterministic text listing.
+func RenderText(g *DFG, s *Stats, p *Partition) string { return render.RenderText(g, s, p) }
+
+// RenderTimeline renders intervals as an ASCII timeline (Figure 5).
+func RenderTimeline(intervals []Interval) string { return render.RenderTimeline(intervals) }
+
+// RenderMermaid renders a DFG as a Mermaid flowchart for markdown
+// embedding.
+func RenderMermaid(g *DFG, s *Stats, styler Styler) string {
+	return render.RenderMermaid(g, s, styler)
+}
+
+// RenderTimelineSVG renders intervals as a standalone SVG document in
+// the style of Figure 5.
+func RenderTimelineSVG(intervals []Interval, title string) string {
+	return render.RenderTimelineSVG(intervals, title)
+}
+
+// MergeArchives consolidates several STA files into one; case identities
+// must be disjoint.
+func MergeArchives(dst string, srcs ...string) error { return archive.Merge(dst, srcs...) }
+
+// NewEnvMapping builds a site-variable path abstraction (the paper's f̄).
+func NewEnvMapping(depth int, vars ...PrefixVar) *EnvMapping {
+	return pm.NewEnvMapping(depth, vars...)
+}
+
+// RestrictPath narrows a mapping's domain to paths containing substr.
+func RestrictPath(m Mapping, substr string) Mapping { return pm.RestrictPath(m, substr) }
+
+// RestrictCalls narrows a mapping's domain to the given system calls.
+func RestrictCalls(m Mapping, calls ...string) Mapping { return pm.RestrictCalls(m, calls...) }
