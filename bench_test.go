@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"testing/fstest"
 	"time"
 
 	"stinspector/internal/archive"
@@ -203,6 +204,84 @@ func BenchmarkParseCase(b *testing.B) {
 		if c.Len() == 0 {
 			b.Fatal("no events")
 		}
+	}
+}
+
+// synthTraceFS renders nFiles synthetic per-rank trace files into an
+// in-memory filesystem for the ingestion benchmarks (no disk noise).
+func synthTraceFS(b *testing.B, nFiles, perFile int) fstest.MapFS {
+	b.Helper()
+	fsys := fstest.MapFS{}
+	el := synthLog(nFiles*perFile, nFiles, 16, 11)
+	for _, c := range el.Cases() {
+		var buf bytes.Buffer
+		if err := strace.NewWriter(&buf).WriteCase(c); err != nil {
+			b.Fatal(err)
+		}
+		fsys[c.ID.FileName()] = &fstest.MapFile{Data: buf.Bytes()}
+	}
+	return fsys
+}
+
+// BenchmarkReadDirParallel: the concurrent trace-ingestion pipeline over
+// a multi-hundred-file synthetic trace directory, swept across worker
+// counts. p=1 is the sequential baseline; on a machine with >= 4 cores
+// the p=GOMAXPROCS variant is expected to be >= 2x faster (the gate is
+// asserted by TestReadDirParallelSpeedup in internal/strace).
+func BenchmarkReadDirParallel(b *testing.B) {
+	for _, nf := range []int{50, 200} {
+		fsys := synthTraceFS(b, nf, 400)
+		var total int64
+		for _, f := range fsys {
+			total += int64(len(f.Data))
+		}
+		for _, p := range []int{1, 2, 4, 8, 0} {
+			name := fmt.Sprintf("files=%d/p=%d", nf, p)
+			if p == 0 {
+				name = fmt.Sprintf("files=%d/p=gomaxprocs", nf)
+			}
+			b.Run(name, func(b *testing.B) {
+				b.SetBytes(total)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					log, err := strace.ReadFS(fsys, ".", strace.Options{Strict: true, Parallelism: p})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if log.NumCases() != nf {
+						b.Fatalf("got %d cases, want %d", log.NumCases(), nf)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkArchiveReadParallel: concurrent STA section decode.
+func BenchmarkArchiveReadParallel(b *testing.B) {
+	el := synthLog(100_000, 64, 32, 12)
+	var buf bytes.Buffer
+	if err := archive.Write(&buf, el); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, p := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				r, err := archive.NewReader(bytes.NewReader(data), int64(len(data)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := r.ReadAllParallel(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got.NumEvents() != el.NumEvents() {
+					b.Fatal("lost events")
+				}
+			}
+		})
 	}
 }
 

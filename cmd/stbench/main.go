@@ -9,15 +9,27 @@
 //	stbench -fig all
 //	stbench -fig fig8b -ranks 96 -hosts 2
 //	stbench -fig fig9 -checks-only
+//
+// The -ingest mode benchmarks the concurrent trace-ingestion pipeline
+// instead: it synthesizes a directory of N per-rank strace files, then
+// times sequential (Parallelism: 1) against parallel (-j workers)
+// ReadDir and reports the speedup:
+//
+//	stbench -ingest 200 -events 2000 -j 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"stinspector/internal/experiments"
+	"stinspector/internal/strace"
+	"stinspector/internal/synth"
 )
 
 func main() {
@@ -36,8 +48,15 @@ func run(args []string) error {
 	transfers := fs.Int("transfers", 16, "transfers per block")
 	seed := fs.Int64("seed", 20240924, "simulation seed")
 	checksOnly := fs.Bool("checks-only", false, "print only the check tables, not the artifacts")
+	ingest := fs.Int("ingest", 0, "benchmark trace ingestion over this many synthetic trace files instead of running figures")
+	events := fs.Int("events", 2000, "events per synthetic trace file (-ingest mode)")
+	jobs := fs.Int("j", 0, "parallel ingestion workers (-ingest mode; 0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *ingest > 0 {
+		return ingestBench(*ingest, *events, *jobs, *seed)
 	}
 
 	scale := experiments.Scale{
@@ -76,5 +95,67 @@ func run(args []string) error {
 		return fmt.Errorf("%d checks failed", failed)
 	}
 	fmt.Println("all checks passed")
+	return nil
+}
+
+// ingestBench synthesizes a trace directory of nFiles per-rank files and
+// times sequential against parallel ReadDir over it.
+func ingestBench(nFiles, perFile, jobs int, seed int64) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	dir, err := os.MkdirTemp("", "stbench-ingest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	log := synth.Log("bench", nFiles, perFile, seed)
+	if err := strace.WriteDir(dir, log); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var bytes int64
+	for _, ent := range ents {
+		fi, err := os.Stat(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return err
+		}
+		bytes += fi.Size()
+	}
+	fmt.Printf("synthetic trace directory: %d files, %d events, %.1f MB\n",
+		nFiles, log.NumEvents(), float64(bytes)/1e6)
+
+	run := func(parallelism int) (time.Duration, error) {
+		start := time.Now()
+		got, err := strace.ReadDir(dir, strace.Options{Strict: true, Parallelism: parallelism})
+		if err != nil {
+			return 0, err
+		}
+		if got.NumEvents() != log.NumEvents() {
+			return 0, fmt.Errorf("ingest dropped events: got %d, want %d", got.NumEvents(), log.NumEvents())
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm the page cache so both timings measure parsing, not disk.
+	if _, err := run(jobs); err != nil {
+		return err
+	}
+	seq, err := run(1)
+	if err != nil {
+		return err
+	}
+	par, err := run(jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %12s %14s\n", "PIPELINE", "WALL", "THROUGHPUT")
+	fmt.Printf("%-28s %12v %11.1f MB/s\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds())
+	fmt.Printf("%-28s %12v %11.1f MB/s\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds())
+	fmt.Printf("speedup: %.2fx\n", seq.Seconds()/par.Seconds())
 	return nil
 }

@@ -17,6 +17,9 @@
 // Mappings: "topdirs:N" (call + top N directories, the paper's f̂ with
 // N=2), "file:N" (call + trailing N path components, Figure 4), or
 // "env:PREFIX=VAR,...[:DEPTH]" (site-variable abstraction f̄).
+//
+// All subcommands accept -j N to bound ingestion parallelism (trace
+// files parsed or archive cases decoded concurrently; 0 = GOMAXPROCS).
 package main
 
 import (
@@ -58,6 +61,7 @@ func run(args []string) error {
 	out := fs.String("o", "", "output file (archive subcommand)")
 	title := fs.String("title", "", "report title (report subcommand)")
 	lenient := fs.Bool("lenient", false, "skip unparseable trace lines instead of failing")
+	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -75,16 +79,16 @@ func run(args []string) error {
 		case nsrc > 1:
 			return nil, fmt.Errorf("-traces, -archive and -dxt are mutually exclusive")
 		case *traces != "":
-			in, err = stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient})
+			in, err = stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs})
 		case *archivePath != "":
-			in, err = stinspector.FromArchive(*archivePath)
+			in, err = stinspector.FromArchiveParallel(*archivePath, *jobs)
 		case *dxtPath != "":
 			var f *os.File
 			f, err = os.Open(*dxtPath)
 			if err != nil {
 				return nil, err
 			}
-			in, err = stinspector.FromDXT(*cid, f)
+			in, err = stinspector.FromDXTParallel(*cid, f, *jobs)
 			f.Close()
 		default:
 			return nil, fmt.Errorf("need -traces DIR, -archive FILE or -dxt FILE")
@@ -253,7 +257,7 @@ func run(args []string) error {
 		if *traces == "" || *out == "" {
 			return fmt.Errorf("archive needs -traces DIR and -o FILE")
 		}
-		in, err := stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient})
+		in, err := stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs})
 		if err != nil {
 			return err
 		}

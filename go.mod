@@ -1,0 +1,3 @@
+module stinspector
+
+go 1.22

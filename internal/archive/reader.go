@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"stinspector/internal/par"
 	"stinspector/internal/trace"
 )
 
@@ -173,17 +174,35 @@ func (r *Reader) readEntry(ent indexEntry) (*trace.Case, error) {
 	return decodeCase(section, ent.id)
 }
 
-// ReadAll loads the full event-log.
+// ReadAll loads the full event-log, decoding case sections concurrently
+// with GOMAXPROCS workers. The result is deterministic: cases are merged
+// in file order whatever the worker count.
 func (r *Reader) ReadAll() (*trace.EventLog, error) {
+	return r.ReadAllParallel(0)
+}
+
+// ReadAllParallel is ReadAll with an explicit worker bound: each case
+// section is an independent (offset, length) region of the file, so the
+// ReadAt+decode work fans out cleanly. parallelism 0 means
+// runtime.GOMAXPROCS(0); 1 decodes sequentially. The first failing case
+// in file order determines the returned error.
+func (r *Reader) ReadAllParallel(parallelism int) (*trace.EventLog, error) {
+	cases := make([]*trace.Case, len(r.entries))
+	errs := make([]error, len(r.entries))
+	par.ForEach(len(r.entries), parallelism, func(i int) bool {
+		cases[i], errs[i] = r.readEntry(r.entries[i])
+		return errs[i] == nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	log, err := trace.NewEventLog()
 	if err != nil {
 		return nil, err
 	}
-	for _, ent := range r.entries {
-		c, err := r.readEntry(ent)
-		if err != nil {
-			return nil, err
-		}
+	for _, c := range cases {
 		if err := log.Add(c); err != nil {
 			return nil, err
 		}
@@ -193,12 +212,17 @@ func (r *Reader) ReadAll() (*trace.EventLog, error) {
 
 // ReadLog opens path and loads the full event-log in one call.
 func ReadLog(path string) (*trace.EventLog, error) {
+	return ReadLogParallel(path, 0)
+}
+
+// ReadLogParallel is ReadLog with an explicit decode-worker bound.
+func ReadLogParallel(path string, parallelism int) (*trace.EventLog, error) {
 	r, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	return r.ReadAll()
+	return r.ReadAllParallel(parallelism)
 }
 
 // decodeCase parses and verifies one case section.

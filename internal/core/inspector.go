@@ -43,7 +43,8 @@ func FromEventLog(el *trace.EventLog) *Inspector {
 }
 
 // FromStraceDir parses every *.st file under dir (Figure 1's recording
-// convention) into an event-log.
+// convention) into an event-log. Files are parsed concurrently under
+// opts.Parallelism (default GOMAXPROCS) with a deterministic merge.
 func FromStraceDir(dir string, opts strace.Options) (*Inspector, error) {
 	el, err := strace.ReadDir(dir, opts)
 	if err != nil {
@@ -53,9 +54,15 @@ func FromStraceDir(dir string, opts strace.Options) (*Inspector, error) {
 }
 
 // FromArchive loads a consolidated STA event-log file (the paper's
-// single-HDF5-file stage).
+// single-HDF5-file stage), decoding case sections concurrently.
 func FromArchive(path string) (*Inspector, error) {
-	el, err := archive.ReadLog(path)
+	return FromArchiveParallel(path, 0)
+}
+
+// FromArchiveParallel is FromArchive with an explicit decode-worker
+// bound; 0 means GOMAXPROCS, 1 decodes sequentially.
+func FromArchiveParallel(path string, parallelism int) (*Inspector, error) {
+	el, err := archive.ReadLogParallel(path, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -67,11 +74,17 @@ func FromArchive(path string) (*Inspector, error) {
 // from instrumentation tools other than strace. The cid names the
 // resulting cases.
 func FromDXT(cid string, r io.Reader) (*Inspector, error) {
+	return FromDXTParallel(cid, r, 0)
+}
+
+// FromDXTParallel is FromDXT with an explicit worker bound for the
+// per-case construction step; 0 means GOMAXPROCS, 1 builds sequentially.
+func FromDXTParallel(cid string, r io.Reader, parallelism int) (*Inspector, error) {
 	records, err := dxt.Parse(r)
 	if err != nil {
 		return nil, err
 	}
-	el, err := dxt.ToEventLog(cid, records)
+	el, err := dxt.ToEventLogParallel(cid, records, parallelism)
 	if err != nil {
 		return nil, err
 	}

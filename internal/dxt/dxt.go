@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"stinspector/internal/par"
 	"stinspector/internal/trace"
 )
 
@@ -162,19 +163,31 @@ func (r Record) call() string {
 
 // ToEventLog converts parsed records into an event-log: one case per
 // (hostname, rank), identified by the given command id. Hostless records
-// fall back to "host0".
+// fall back to "host0". Case construction (which time-sorts each case's
+// events) runs concurrently with GOMAXPROCS workers.
 func ToEventLog(cid string, records []Record) (*trace.EventLog, error) {
+	return ToEventLogParallel(cid, records, 0)
+}
+
+// ToEventLogParallel is ToEventLog with an explicit worker bound for the
+// per-case construction step; parallelism 0 means runtime.GOMAXPROCS(0).
+// The resulting log is deterministic for every setting.
+func ToEventLogParallel(cid string, records []Record, parallelism int) (*trace.EventLog, error) {
 	type key struct {
 		host string
 		rank int
 	}
 	groups := make(map[key][]trace.Event)
+	var keys []key
 	for _, r := range records {
 		host := r.Hostname
 		if host == "" {
 			host = "host0"
 		}
 		k := key{host: host, rank: r.Rank}
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
 		groups[k] = append(groups[k], trace.Event{
 			PID:   r.Rank,
 			Call:  r.call(),
@@ -184,13 +197,19 @@ func ToEventLog(cid string, records []Record) (*trace.EventLog, error) {
 			Size:  r.Length,
 		})
 	}
+	cases := make([]*trace.Case, len(keys))
+	par.ForEach(len(keys), parallelism, func(i int) bool {
+		k := keys[i]
+		id := trace.CaseID{CID: cid, Host: k.host, RID: k.rank}
+		cases[i] = trace.NewCase(id, groups[k])
+		return true
+	})
 	log, err := trace.NewEventLog()
 	if err != nil {
 		return nil, err
 	}
-	for k, evs := range groups {
-		id := trace.CaseID{CID: cid, Host: k.host, RID: k.rank}
-		if err := log.Add(trace.NewCase(id, evs)); err != nil {
+	for _, c := range cases {
+		if err := log.Add(c); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,75 @@
+// Package par provides the bounded worker-pool primitive shared by the
+// concurrent ingestion paths (strace directory parsing, STA archive
+// decoding, DXT case construction). It exists so that the claim-order
+// and abandonment semantics are defined once.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs body(i) for every i in [0, n) across at most workers
+// goroutines. workers <= 0 means runtime.GOMAXPROCS(0); workers == 1
+// runs inline. body returns false to request that later indices be
+// abandoned.
+//
+// Abandonment is ordered, not merely best-effort: only indices greater
+// than the smallest failing index are ever skipped, so every index
+// below the first failure is guaranteed to run. Callers that record
+// per-index errors can therefore report the first non-nil error in
+// index order deterministically, whatever the scheduling. The
+// sequential path stops immediately after the first false return.
+func ForEach(n, workers int, body func(i int) (keepGoing bool)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if !body(i) {
+				return
+			}
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		// stopAt holds the smallest index whose body returned false;
+		// indices beyond it are abandoned. n means "no stop".
+		stopAt atomic.Int64
+	)
+	stopAt.Store(int64(n))
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int64(next.Add(1)) - 1
+				if i >= int64(n) {
+					return
+				}
+				// Indices at or below the earliest failure always run:
+				// skipping only above it keeps first-failure reporting
+				// deterministic even when a later index fails first in
+				// wall-clock time.
+				if i > stopAt.Load() {
+					continue
+				}
+				if !body(int(i)) {
+					for {
+						cur := stopAt.Load()
+						if i >= cur || stopAt.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

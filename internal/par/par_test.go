@@ -1,0 +1,95 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachVisitsAll: every index is visited exactly once at every
+// worker count when no body requests a stop.
+func TestForEachVisitsAll(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{0, 1, 4, 32, 1000} {
+		var visited [n]atomic.Int32
+		ForEach(n, workers, func(i int) bool {
+			visited[i].Add(1)
+			return true
+		})
+		for i := range visited {
+			if got := visited[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachSequentialStop: workers <= 1 stops immediately after the
+// first false return.
+func TestForEachSequentialStop(t *testing.T) {
+	var visited []int
+	ForEach(10, 1, func(i int) bool {
+		visited = append(visited, i)
+		return i < 3
+	})
+	if len(visited) != 4 || visited[3] != 3 {
+		t.Fatalf("visited %v, want [0 1 2 3]", visited)
+	}
+}
+
+// TestForEachParallelStop: the ordered-abandonment guarantee — every
+// index up to and including the smallest stopping index always runs
+// exactly once, nothing runs twice, and later indices may be skipped.
+func TestForEachParallelStop(t *testing.T) {
+	const n, stopAt = 300, 7
+	var visited [n]atomic.Int32
+	ForEach(n, 8, func(i int) bool {
+		visited[i].Add(1)
+		return i != stopAt
+	})
+	for i := 0; i <= stopAt; i++ {
+		if got := visited[i].Load(); got != 1 {
+			t.Fatalf("index %d below/at the stop visited %d times, want exactly 1", i, got)
+		}
+	}
+	ran := 0
+	for i := stopAt + 1; i < n; i++ {
+		switch got := visited[i].Load(); got {
+		case 0:
+		case 1:
+			ran++
+		default:
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+	t.Logf("ran %d of %d bodies past the stop before abandonment", ran, n-stopAt-1)
+}
+
+// TestForEachEarliestStopWins: when several bodies request a stop, the
+// guarantee is anchored to the smallest such index, not the first in
+// wall-clock time: everything below it must still run.
+func TestForEachEarliestStopWins(t *testing.T) {
+	const n = 200
+	fail := map[int]bool{20: true, 150: true}
+	for run := 0; run < 20; run++ {
+		var visited [n]atomic.Int32
+		ForEach(n, 8, func(i int) bool {
+			visited[i].Add(1)
+			return !fail[i]
+		})
+		for i := 0; i <= 20; i++ {
+			if got := visited[i].Load(); got != 1 {
+				t.Fatalf("run %d: index %d visited %d times, want 1", run, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachEmpty: n = 0 is a no-op at every worker count.
+func TestForEachEmpty(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		ForEach(0, workers, func(i int) bool {
+			t.Fatalf("workers=%d: body called with i=%d", workers, i)
+			return false
+		})
+	}
+}

@@ -37,6 +37,13 @@ type Options struct {
 	// matching unfinished record, or a dangling unfinished record at
 	// EOF) an error instead of a silent drop.
 	Strict bool
+	// Parallelism bounds the number of trace files parsed concurrently
+	// by ReadDir/ReadFS (and, through core.FromStraceDir, the whole
+	// ingestion facade). 0 means runtime.GOMAXPROCS(0); 1 forces the
+	// sequential path. The merged event-log is identical for every
+	// setting: files are parsed independently and merged in sorted
+	// file-name order.
+	Parallelism int
 }
 
 func (o Options) callWanted(name string) bool {

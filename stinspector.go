@@ -135,20 +135,36 @@ type (
 // Inspector is the synthesis pipeline of the paper's Figure 6.
 type Inspector = core.Inspector
 
-// ParseOptions configures strace ingestion.
+// ParseOptions configures strace ingestion. Set Parallelism to bound the
+// number of trace files parsed concurrently (0 = GOMAXPROCS, 1 =
+// sequential); the merged event-log is deterministic either way.
 type ParseOptions = strace.Options
 
-// FromStraceDir parses every *.st trace file under dir.
+// FromStraceDir parses every *.st trace file under dir, fanning per-file
+// parsing out to opts.Parallelism workers.
 func FromStraceDir(dir string, opts ParseOptions) (*Inspector, error) {
 	return core.FromStraceDir(dir, opts)
 }
 
-// FromArchive loads a consolidated STA event-log file.
+// FromArchive loads a consolidated STA event-log file, decoding case
+// sections concurrently.
 func FromArchive(path string) (*Inspector, error) { return core.FromArchive(path) }
+
+// FromArchiveParallel is FromArchive with an explicit decode-worker
+// bound (0 = GOMAXPROCS, 1 = sequential).
+func FromArchiveParallel(path string, parallelism int) (*Inspector, error) {
+	return core.FromArchiveParallel(path, parallelism)
+}
 
 // FromDXT ingests a Darshan DXT text dump, the alternative
 // instrumentation source of the paper's Section II remark.
 func FromDXT(cid string, r io.Reader) (*Inspector, error) { return core.FromDXT(cid, r) }
+
+// FromDXTParallel is FromDXT with an explicit worker bound for case
+// construction (0 = GOMAXPROCS, 1 = sequential).
+func FromDXTParallel(cid string, r io.Reader, parallelism int) (*Inspector, error) {
+	return core.FromDXTParallel(cid, r, parallelism)
+}
 
 // FromEventLog wraps an event-log with the default mapping f̂.
 func FromEventLog(el *EventLog) *Inspector { return core.FromEventLog(el) }
@@ -157,8 +173,15 @@ func FromEventLog(el *EventLog) *Inspector { return core.FromEventLog(el) }
 // counterpart of the paper's HDF5 consolidation step.
 func WriteArchive(path string, el *EventLog) error { return archive.WriteFile(path, el) }
 
-// ReadArchive loads an event-log from an STA file.
+// ReadArchive loads an event-log from an STA file, decoding case
+// sections concurrently.
 func ReadArchive(path string) (*EventLog, error) { return archive.ReadLog(path) }
+
+// ReadArchiveParallel is ReadArchive with an explicit decode-worker
+// bound (0 = GOMAXPROCS, 1 = sequential).
+func ReadArchiveParallel(path string, parallelism int) (*EventLog, error) {
+	return archive.ReadLogParallel(path, parallelism)
+}
 
 // BuildDFG synthesizes the DFG of an event-log under a mapping, with the
 // virtual start/end activities appended.
