@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/fstest"
@@ -31,6 +32,7 @@ import (
 	"stinspector/internal/lssim"
 	"stinspector/internal/pm"
 	"stinspector/internal/render"
+	"stinspector/internal/source"
 	"stinspector/internal/stats"
 	"stinspector/internal/strace"
 	"stinspector/internal/trace"
@@ -208,15 +210,17 @@ func BenchmarkParseCase(b *testing.B) {
 }
 
 // synthTraceFS renders nFiles synthetic per-rank trace files into an
-// in-memory filesystem for the ingestion benchmarks (no disk noise).
-func synthTraceFS(b *testing.B, nFiles, perFile int) fstest.MapFS {
-	b.Helper()
+// in-memory filesystem (no disk noise). It is shared by the ingestion
+// benchmarks and the TestStreamIngestMemory gate, so both measure the
+// identical dataset.
+func synthTraceFS(tb testing.TB, nFiles, perFile int) fstest.MapFS {
+	tb.Helper()
 	fsys := fstest.MapFS{}
 	el := synthLog(nFiles*perFile, nFiles, 16, 11)
 	for _, c := range el.Cases() {
 		var buf bytes.Buffer
 		if err := strace.NewWriter(&buf).WriteCase(c); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		fsys[c.ID.FileName()] = &fstest.MapFile{Data: buf.Bytes()}
 	}
@@ -255,6 +259,92 @@ func BenchmarkReadDirParallel(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkStreamIngest: the bounded-memory streaming pipeline against
+// the materializing one on the 256-rank synth set. B/op shows total
+// allocation; the peak-live-B metric (live heap after GC, sampled as
+// the stream advances, measured on one untimed pass) shows what each
+// path keeps resident — the streaming path's is bounded by the window,
+// the in-memory path's grows with the trace set. TestStreamIngestMemory
+// gates the ratio at 4x.
+func BenchmarkStreamIngest(b *testing.B) {
+	const nFiles, perFile = 256, 400
+	fsys := synthTraceFS(b, nFiles, perFile)
+	var total int64
+	for _, f := range fsys {
+		total += int64(len(f.Data))
+	}
+	opts := strace.Options{Strict: true, Parallelism: 4, Window: 8}
+
+	liveHeap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	b.Run("inmemory", func(b *testing.B) {
+		base := liveHeap()
+		el, err := strace.ReadFS(fsys, ".", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak := liveHeap() - base
+		runtime.KeepAlive(el)
+		el = nil
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			log, err := strace.ReadFS(fsys, ".", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if log.NumCases() != nFiles {
+				b.Fatal("lost cases")
+			}
+		}
+		b.ReportMetric(float64(peak), "peak-live-B")
+	})
+
+	b.Run("stream/window=8", func(b *testing.B) {
+		walk := func(sample bool) (peak uint64, resident int) {
+			base := uint64(0)
+			if sample {
+				base = liveHeap()
+			}
+			src, err := strace.StreamFS(fsys, ".", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer src.Close()
+			cases := 0
+			err = source.Walk(src, true, func(c *trace.Case) error {
+				cases++
+				if sample && cases%32 == 0 {
+					if h := liveHeap() - base; h > peak {
+						peak = h
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cases != nFiles {
+				b.Fatal("lost cases")
+			}
+			return peak, source.PeakResident(src)
+		}
+		peak, resident := walk(true)
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			walk(false)
+		}
+		b.ReportMetric(float64(peak), "peak-live-B")
+		b.ReportMetric(float64(resident), "resident-cases")
+	})
 }
 
 // BenchmarkArchiveReadParallel: concurrent STA section decode.

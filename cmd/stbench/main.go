@@ -12,10 +12,12 @@
 //
 // The -ingest mode benchmarks the concurrent trace-ingestion pipeline
 // instead: it synthesizes a directory of N per-rank strace files, then
-// times sequential (Parallelism: 1) against parallel (-j workers)
-// ReadDir and reports the speedup:
+// times sequential (Parallelism: 1), parallel (-j workers) ReadDir, and
+// the streaming pass (-window resident cases, never materializing the
+// event-log), reporting the speedup and the peak number of cases
+// resident:
 //
-//	stbench -ingest 200 -events 2000 -j 8
+//	stbench -ingest 200 -events 2000 -j 8 -window 16
 package main
 
 import (
@@ -28,8 +30,10 @@ import (
 	"time"
 
 	"stinspector/internal/experiments"
+	"stinspector/internal/source"
 	"stinspector/internal/strace"
 	"stinspector/internal/synth"
+	"stinspector/internal/trace"
 )
 
 func main() {
@@ -51,12 +55,13 @@ func run(args []string) error {
 	ingest := fs.Int("ingest", 0, "benchmark trace ingestion over this many synthetic trace files instead of running figures")
 	events := fs.Int("events", 2000, "events per synthetic trace file (-ingest mode)")
 	jobs := fs.Int("j", 0, "parallel ingestion workers (-ingest mode; 0 = GOMAXPROCS)")
+	window := fs.Int("window", 0, "streaming pass: max cases resident (-ingest mode; 0 = 2x workers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *ingest > 0 {
-		return ingestBench(*ingest, *events, *jobs, *seed)
+		return ingestBench(*ingest, *events, *jobs, *window, *seed)
 	}
 
 	scale := experiments.Scale{
@@ -99,10 +104,13 @@ func run(args []string) error {
 }
 
 // ingestBench synthesizes a trace directory of nFiles per-rank files and
-// times sequential against parallel ReadDir over it.
-func ingestBench(nFiles, perFile, jobs int, seed int64) error {
+// times sequential ReadDir, parallel ReadDir, and the streaming pass.
+func ingestBench(nFiles, perFile, jobs, window int, seed int64) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
+	}
+	if window <= 0 {
+		window = 2 * jobs // the streaming default, resolved for reporting
 	}
 	dir, err := os.MkdirTemp("", "stbench-ingest")
 	if err != nil {
@@ -141,7 +149,30 @@ func ingestBench(nFiles, perFile, jobs int, seed int64) error {
 		return time.Since(start), nil
 	}
 
-	// Warm the page cache so both timings measure parsing, not disk.
+	// The streaming pass consumes cases as they arrive and drops them —
+	// peak memory is the resident window, not the trace set.
+	runStream := func() (time.Duration, int, error) {
+		start := time.Now()
+		src, err := strace.StreamDir(dir, strace.Options{Strict: true, Parallelism: jobs, Window: window})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer src.Close()
+		events := 0
+		err = source.Walk(src, true, func(c *trace.Case) error {
+			events += c.Len()
+			return nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		if events != log.NumEvents() {
+			return 0, 0, fmt.Errorf("streaming ingest dropped events: got %d, want %d", events, log.NumEvents())
+		}
+		return time.Since(start), source.PeakResident(src), nil
+	}
+
+	// Warm the page cache so all timings measure parsing, not disk.
 	if _, err := run(jobs); err != nil {
 		return err
 	}
@@ -153,9 +184,15 @@ func ingestBench(nFiles, perFile, jobs int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-28s %12s %14s\n", "PIPELINE", "WALL", "THROUGHPUT")
-	fmt.Printf("%-28s %12v %11.1f MB/s\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds())
-	fmt.Printf("%-28s %12v %11.1f MB/s\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds())
+	str, peak, err := runStream()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-32s %12s %14s\n", "PIPELINE", "WALL", "THROUGHPUT")
+	fmt.Printf("%-32s %12v %11.1f MB/s\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds())
+	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds())
+	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("streaming (j=%d, window=%d)", jobs, window), str.Round(time.Millisecond), float64(bytes)/1e6/str.Seconds())
 	fmt.Printf("speedup: %.2fx\n", seq.Seconds()/par.Seconds())
+	fmt.Printf("peak cases resident (streaming): %d of %d files\n", peak, nFiles)
 	return nil
 }

@@ -20,6 +20,13 @@
 //
 // All subcommands accept -j N to bound ingestion parallelism (trace
 // files parsed or archive cases decoded concurrently; 0 = GOMAXPROCS).
+//
+// The dfg, stats, variants, info and footprint subcommands additionally
+// accept -stream, which synthesizes the artifacts in a single
+// bounded-memory pass without materializing the event-log — trace sets
+// larger than RAM stay inspectable. -window N caps how many parsed
+// cases are resident at once (0 = 2×parallelism); the output is
+// byte-identical to the in-memory path for every -j/-window setting.
 package main
 
 import (
@@ -62,8 +69,108 @@ func run(args []string) error {
 	title := fs.String("title", "", "report title (report subcommand)")
 	lenient := fs.Bool("lenient", false, "skip unparseable trace lines instead of failing")
 	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	stream := fs.Bool("stream", false, "bounded-memory streaming pass (dfg, stats, variants, info, footprint): never materializes the event-log")
+	window := fs.Int("window", 0, "streaming mode: max cases resident at once (0 = 2x parallelism)")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+
+	openStream := func() (stinspector.Source, error) {
+		nsrc := 0
+		for _, s := range []string{*traces, *archivePath, *dxtPath} {
+			if s != "" {
+				nsrc++
+			}
+		}
+		var src stinspector.Source
+		var err error
+		switch {
+		case nsrc > 1:
+			return nil, fmt.Errorf("-traces, -archive and -dxt are mutually exclusive")
+		case *traces != "":
+			src, err = stinspector.StreamStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs, Window: *window})
+		case *archivePath != "":
+			src, err = stinspector.StreamArchive(*archivePath, *jobs, *window)
+		case *dxtPath != "":
+			var f *os.File
+			f, err = os.Open(*dxtPath)
+			if err != nil {
+				return nil, err
+			}
+			src, err = stinspector.StreamDXT(*cid, f, *jobs, *window)
+			f.Close()
+		default:
+			return nil, fmt.Errorf("need -traces DIR, -archive FILE or -dxt FILE")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if *filter != "" {
+			substr := *filter
+			src = stinspector.FilterStream(src, func(e stinspector.Event) bool {
+				return strings.Contains(e.FP, substr)
+			})
+		}
+		if *calls != "" {
+			set := make(map[string]bool)
+			for _, c := range strings.Split(*calls, ",") {
+				set[c] = true
+			}
+			src = stinspector.FilterStream(src, func(e stinspector.Event) bool { return set[e.Call] })
+		}
+		return src, nil
+	}
+
+	if *stream {
+		// Reject unsupported subcommands before ingesting anything —
+		// -stream targets trace sets where a wasted pass is expensive.
+		switch cmd {
+		case "dfg", "stats", "variants", "info", "footprint":
+		default:
+			return fmt.Errorf("subcommand %q needs the in-memory event-log; drop -stream", cmd)
+		}
+		m, err := parseMapping(*mapping)
+		if err != nil {
+			return err
+		}
+		analyze := func(keep func(*stinspector.Case) bool) (*stinspector.StreamResult, error) {
+			src, err := openStream()
+			if err != nil {
+				return nil, err
+			}
+			defer src.Close()
+			if keep != nil {
+				src = stinspector.FilterStreamCases(src, keep)
+			}
+			return stinspector.AnalyzeStream(src, m, !*lenient)
+		}
+		if cmd == "footprint" && *green != "" {
+			// Partition comparison over streams: one pass per subset
+			// (sources are one-shot, so the split re-opens the input).
+			set := make(map[string]bool)
+			for _, c := range strings.Split(*green, ",") {
+				set[c] = true
+			}
+			gres, err := analyze(func(c *stinspector.Case) bool { return set[c.ID.CID] })
+			if err != nil {
+				return err
+			}
+			rres, err := analyze(func(c *stinspector.Case) bool { return !set[c.ID.CID] })
+			if err != nil {
+				return err
+			}
+			gf, rf := stinspector.NewFootprint(gres.DFG), stinspector.NewFootprint(rres.DFG)
+			fmt.Printf("structural similarity: %.3f\n", gf.Similarity(rf))
+			for _, d := range gf.Diff(rf) {
+				fmt.Printf("  %s vs %s:  green %s, red %s\n", d.A, d.B, d.Left, d.Rite)
+			}
+			return nil
+		}
+		res, err := analyze(nil)
+		if err != nil {
+			return err
+		}
+		return runStreamed(cmd, res, *format)
 	}
 
 	load := func() (*stinspector.Inspector, error) {
@@ -173,7 +280,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(statsTable(in))
+		fmt.Print(statsTable(in.Stats()))
 		return nil
 
 	case "timeline":
@@ -280,6 +387,41 @@ func run(args []string) error {
 	}
 }
 
+// runStreamed serves the subcommands whose artifacts are derivable in a
+// single bounded-memory pass; the others need random access to the
+// event-log and reject -stream.
+func runStreamed(cmd string, res *stinspector.StreamResult, format string) error {
+	switch cmd {
+	case "dfg":
+		switch format {
+		case "dot":
+			fmt.Print(stinspector.RenderDOT(res.DFG, res.Stats, stinspector.StatisticsColoring{Stats: res.Stats}))
+		case "mermaid":
+			fmt.Print(stinspector.RenderMermaid(res.DFG, res.Stats, stinspector.StatisticsColoring{Stats: res.Stats}))
+		default:
+			fmt.Print(stinspector.RenderText(res.DFG, res.Stats, nil))
+		}
+		return nil
+	case "stats":
+		fmt.Print(statsTable(res.Stats))
+		return nil
+	case "variants":
+		for _, v := range res.ActivityLog.Variants() {
+			fmt.Printf("%4d× %s\n", v.Mult, v.Seq)
+		}
+		return nil
+	case "footprint":
+		fmt.Print(stinspector.NewFootprint(res.DFG).String())
+		return nil
+	case "info":
+		fmt.Printf("%d cases, %d events, %d activities (streamed; peak %d cases resident)\n",
+			res.Cases, res.Events, len(res.Stats.Activities()), res.PeakResident)
+		return nil
+	default:
+		return fmt.Errorf("subcommand %q needs the in-memory event-log; drop -stream", cmd)
+	}
+}
+
 // parseMapping parses the -map syntax.
 func parseMapping(s string) (stinspector.Mapping, error) {
 	switch {
@@ -322,8 +464,7 @@ func parseMapping(s string) (stinspector.Mapping, error) {
 	}
 }
 
-func statsTable(in *stinspector.Inspector) string {
-	st := in.Stats()
+func statsTable(st *stinspector.Stats) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-44s %8s %8s %12s %6s\n", "ACTIVITY", "EVENTS", "RELDUR", "BYTES", "MAXC")
 	for _, a := range st.Activities() {

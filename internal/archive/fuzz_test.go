@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 )
@@ -40,6 +41,62 @@ func TestReaderRobustnessUnderMutation(t *testing.T) {
 		}
 		_, _ = r.ReadAll() // must not panic
 	}
+}
+
+// FuzzSectionDecode drives arbitrary bytes through the streaming decode
+// path: NewReader followed by Reader.Stream at several worker/window
+// settings. Whatever the corruption, the source must never panic, must
+// terminate, and must agree with the materializing ReadAll on both the
+// error/success verdict and (on success) the decoded contents — the
+// stream and the in-memory path share one notion of a valid archive.
+func FuzzSectionDecode(f *testing.F) {
+	// Seed with valid archives (several shapes) and a few mutants so
+	// the fuzzer starts inside the format, not at the magic check.
+	for seed := int64(1); seed <= 3; seed++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, randLog(seed, int(seed)+1, 20)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/2] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		want, wantErr := r.ReadAll()
+		for _, cfg := range [][2]int{{1, 1}, {4, 2}, {3, 8}} {
+			src := r.Stream(cfg[0], cfg[1])
+			var events, cases int
+			var streamErr error
+			for {
+				c, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					streamErr = err
+					break
+				}
+				cases++
+				events += c.Len()
+			}
+			src.Close()
+			if (streamErr == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d window=%d: stream err %v, ReadAll err %v", cfg[0], cfg[1], streamErr, wantErr)
+			}
+			if wantErr == nil && (cases != want.NumCases() || events != want.NumEvents()) {
+				t.Fatalf("workers=%d window=%d: streamed %d cases / %d events, ReadAll %d / %d",
+					cfg[0], cfg[1], cases, events, want.NumCases(), want.NumEvents())
+			}
+		}
+	})
 }
 
 // Robustness: random byte blobs presented as archives must never panic.

@@ -6,7 +6,7 @@ import (
 	"os"
 	"time"
 
-	"stinspector/internal/par"
+	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
 
@@ -185,29 +185,25 @@ func (r *Reader) ReadAll() (*trace.EventLog, error) {
 // section is an independent (offset, length) region of the file, so the
 // ReadAt+decode work fans out cleanly. parallelism 0 means
 // runtime.GOMAXPROCS(0); 1 decodes sequentially. The first failing case
-// in file order determines the returned error.
+// in file order determines the returned error. It is the materializing
+// form of Stream: drain the case source into an event-log.
 func (r *Reader) ReadAllParallel(parallelism int) (*trace.EventLog, error) {
-	cases := make([]*trace.Case, len(r.entries))
-	errs := make([]error, len(r.entries))
-	par.ForEach(len(r.entries), parallelism, func(i int) bool {
-		cases[i], errs[i] = r.readEntry(r.entries[i])
-		return errs[i] == nil
+	src := r.Stream(parallelism, 0)
+	defer src.Close()
+	return source.Drain(src, false)
+}
+
+// Stream decodes the archive's case sections as a case source: sections
+// are fetched and decoded by parallelism workers (0 = GOMAXPROCS) into
+// an ordered window of at most window resident cases (0 = 2×workers),
+// delivered in file order — which WriteFile lays down in CaseID order,
+// so streaming consumers see the canonical event-log order without the
+// log ever being materialized. The source does not own the underlying
+// file; Close cancels outstanding decodes but leaves the Reader open.
+func (r *Reader) Stream(parallelism, window int) source.Source {
+	return source.Ordered(len(r.entries), parallelism, window, func(i int) (*trace.Case, error) {
+		return r.readEntry(r.entries[i])
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	log, err := trace.NewEventLog()
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range cases {
-		if err := log.Add(c); err != nil {
-			return nil, err
-		}
-	}
-	return log, nil
 }
 
 // ReadLog opens path and loads the full event-log in one call.
@@ -223,6 +219,17 @@ func ReadLogParallel(path string, parallelism int) (*trace.EventLog, error) {
 	}
 	defer r.Close()
 	return r.ReadAllParallel(parallelism)
+}
+
+// StreamLog opens path as a case source with the given decode
+// parallelism and resident-case window. The returned source owns the
+// file: Close releases it.
+func StreamLog(path string, parallelism, window int) (source.Source, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return source.WithCloser(r.Stream(parallelism, window), r), nil
 }
 
 // decodeCase parses and verifies one case section.

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"stinspector/internal/dfg"
+	"stinspector/internal/pm"
+	"stinspector/internal/source"
+	"stinspector/internal/stats"
+	"stinspector/internal/trace"
+)
+
+// StreamResult bundles the synthesis artifacts of one bounded-memory
+// pass over a case source: the activity-log, the DFG and the Section
+// IV-B statistics, plus the ingestion accounting. It is what a
+// streaming consumer gets instead of an Inspector — everything
+// derivable without random access to the event-log.
+type StreamResult struct {
+	ActivityLog *pm.Log
+	DFG         *dfg.Graph
+	Stats       *stats.Stats
+	// Cases and Events count what the stream delivered.
+	Cases, Events int
+	// PeakResident is the maximum number of cases that were loaded but
+	// not yet consumed at once (0 if the source does not track it) —
+	// the observable behind the O(batch) memory guarantee.
+	PeakResident int
+}
+
+// AnalyzeStream consumes a case source in a single pass, feeding the
+// incremental activity-log, DFG and statistics builders, without the
+// event-log ever being materialized: peak memory is the source's
+// resident window plus the (much smaller) aggregates. For a source
+// delivering CaseID order — all backend streams do — the three
+// artifacts are identical to the in-memory pipeline's ActivityLog /
+// DFG / Stats, endpoints included.
+//
+// joinErrors selects the error policy of source.Walk: false aborts on
+// the first failing case (lenient ingestion), true skips failing cases
+// and returns every failure joined (strace Strict semantics). The
+// source is not closed; callers own its lifetime.
+func AnalyzeStream(src source.Source, m pm.Mapping, joinErrors bool) (*StreamResult, error) {
+	pmB := pm.NewBuilder(m, pm.BuildOptions{Endpoints: true})
+	dfgB := dfg.NewBuilder()
+	stC := stats.NewComputer(m)
+	res := &StreamResult{}
+	err := source.Walk(src, joinErrors, func(c *trace.Case) error {
+		res.Cases++
+		res.Events += len(c.Events)
+		if seq, ok := pmB.Add(c); ok {
+			dfgB.AddTrace(seq)
+		}
+		stC.Add(c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.ActivityLog = pmB.Finalize()
+	res.DFG = dfgB.Finalize()
+	res.Stats = stC.Finalize()
+	res.PeakResident = source.PeakResident(src)
+	return res, nil
+}
+
+// LoadStream materializes a case source into an Inspector with the
+// default mapping — the in-memory API reconstructed on top of the
+// streaming one. joinErrors as in AnalyzeStream. The source is not
+// closed.
+func LoadStream(src source.Source, joinErrors bool) (*Inspector, error) {
+	el, err := source.Drain(src, joinErrors)
+	if err != nil {
+		return nil, err
+	}
+	return FromEventLog(el), nil
+}

@@ -43,21 +43,45 @@ func New() *Graph {
 // Virtual start/end activities present in the log's traces become regular
 // nodes (with counts equal to the number of traces), exactly as in the
 // paper's figures where ● and ■ carry the trace multiplicities on their
-// edges.
+// edges. It is the materializing form of Builder.
 func Build(l *pm.Log) *Graph {
-	g := New()
+	b := NewBuilder()
 	for _, v := range l.Variants() {
-		g.traces += v.Mult
-		seq := v.Seq
-		for i, a := range seq {
-			g.nodes[a] += v.Mult
-			if i > 0 {
-				g.edges[Edge{From: seq[i-1], To: a}] += v.Mult
-			}
+		b.AddVariant(v.Seq, v.Mult)
+	}
+	return b.Finalize()
+}
+
+// Builder constructs a DFG incrementally, one activity trace at a time —
+// the streaming form of Build. Because the graph is pure occurrence
+// counting, folding the same traces in any order (per case as a stream
+// delivers them, or per variant as Build does) yields an identical
+// graph.
+type Builder struct {
+	g *Graph
+}
+
+// NewBuilder returns a builder over an empty graph.
+func NewBuilder() *Builder { return &Builder{g: New()} }
+
+// AddTrace folds one case's activity trace into the graph.
+func (b *Builder) AddTrace(seq pm.Trace) { b.AddVariant(seq, 1) }
+
+// AddVariant folds a trace with a multiplicity, the variant form.
+func (b *Builder) AddVariant(seq pm.Trace, mult int) {
+	g := b.g
+	g.traces += mult
+	for i, a := range seq {
+		g.nodes[a] += mult
+		if i > 0 {
+			g.edges[Edge{From: seq[i-1], To: a}] += mult
 		}
 	}
-	return g
 }
+
+// Finalize returns the accumulated graph. The builder must not be used
+// afterwards.
+func (b *Builder) Finalize() *Graph { return b.g }
 
 // AddNode inserts (or increments) a node with the given occurrence count,
 // for manual graph construction in tools and tests.

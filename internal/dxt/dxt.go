@@ -25,11 +25,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
-	"stinspector/internal/par"
+	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
 
@@ -171,49 +172,50 @@ func ToEventLog(cid string, records []Record) (*trace.EventLog, error) {
 
 // ToEventLogParallel is ToEventLog with an explicit worker bound for the
 // per-case construction step; parallelism 0 means runtime.GOMAXPROCS(0).
-// The resulting log is deterministic for every setting.
+// The resulting log is deterministic for every setting. It is the
+// materializing form of Stream.
 func ToEventLogParallel(cid string, records []Record, parallelism int) (*trace.EventLog, error) {
-	type key struct {
-		host string
-		rank int
-	}
-	groups := make(map[key][]trace.Event)
-	var keys []key
+	src := Stream(cid, records, parallelism, 0)
+	defer src.Close()
+	return source.Drain(src, false)
+}
+
+// Stream groups parsed records into per-(hostname, rank) cases and
+// streams them in CaseID order: grouping is a single pass over the
+// records, but the expensive per-case step — event construction and the
+// time sort — runs lazily in parallelism workers with at most window
+// constructed cases resident (0 = 2×workers). Hostless records fall
+// back to "host0", as in ToEventLog.
+func Stream(cid string, records []Record, parallelism, window int) source.Source {
+	groups := make(map[trace.CaseID][]Record)
 	for _, r := range records {
 		host := r.Hostname
 		if host == "" {
 			host = "host0"
 		}
-		k := key{host: host, rank: r.Rank}
-		if _, seen := groups[k]; !seen {
-			keys = append(keys, k)
-		}
-		groups[k] = append(groups[k], trace.Event{
-			PID:   r.Rank,
-			Call:  r.call(),
-			Start: r.Start,
-			Dur:   r.End - r.Start,
-			FP:    r.FileName,
-			Size:  r.Length,
-		})
+		id := trace.CaseID{CID: cid, Host: host, RID: r.Rank}
+		groups[id] = append(groups[id], r)
 	}
-	cases := make([]*trace.Case, len(keys))
-	par.ForEach(len(keys), parallelism, func(i int) bool {
-		k := keys[i]
-		id := trace.CaseID{CID: cid, Host: k.host, RID: k.rank}
-		cases[i] = trace.NewCase(id, groups[k])
-		return true
+	ids := make([]trace.CaseID, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return source.Ordered(len(ids), parallelism, window, func(i int) (*trace.Case, error) {
+		recs := groups[ids[i]]
+		events := make([]trace.Event, len(recs))
+		for j, r := range recs {
+			events[j] = trace.Event{
+				PID:   r.Rank,
+				Call:  r.call(),
+				Start: r.Start,
+				Dur:   r.End - r.Start,
+				FP:    r.FileName,
+				Size:  r.Length,
+			}
+		}
+		return trace.NewCase(ids[i], events), nil
 	})
-	log, err := trace.NewEventLog()
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range cases {
-		if err := log.Add(c); err != nil {
-			return nil, err
-		}
-	}
-	return log, nil
 }
 
 // Write renders an event-log in the darshan-dxt-parser text format, one

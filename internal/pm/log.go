@@ -64,35 +64,67 @@ type BuildOptions struct {
 
 // Build derives the activity-log of an event-log under a mapping
 // (Section IV: "an activity-log can be seen as a query and an abstraction
-// applied to an event-log through the mapping f").
+// applied to an event-log through the mapping f"). It is the
+// materializing form of Builder: cases are folded in CaseID order.
 func Build(el *trace.EventLog, m Mapping, opts BuildOptions) *Log {
-	l := &Log{byKey: make(map[string]*Variant)}
+	b := NewBuilder(m, opts)
 	for _, c := range el.Cases() {
-		seq := make(Trace, 0, len(c.Events)+2)
-		if opts.Endpoints {
-			seq = append(seq, Start)
-		}
-		n := 0
-		for _, e := range c.Events {
-			a, ok := m.Map(e)
-			if !ok {
-				l.unmapped++
-				continue
-			}
-			l.mapped++
-			seq = append(seq, a)
-			n++
-		}
-		if n == 0 && !opts.KeepEmpty {
+		b.Add(c)
+	}
+	return b.Finalize()
+}
+
+// Builder accumulates an activity-log one case at a time — the
+// incremental form of Build that the streaming pipeline feeds, so the
+// activity-log of a trace set can be derived without the event-log ever
+// being materialized. Feeding cases in CaseID order yields exactly the
+// Log that Build produces.
+type Builder struct {
+	m    Mapping
+	opts BuildOptions
+	log  *Log
+}
+
+// NewBuilder returns an empty builder for the mapping and options.
+func NewBuilder(m Mapping, opts BuildOptions) *Builder {
+	return &Builder{m: m, opts: opts, log: &Log{byKey: make(map[string]*Variant)}}
+}
+
+// Add maps one case's events and folds the resulting trace into the
+// log. It returns the derived trace and whether the case contributed
+// (false when every event fell outside the mapping domain and
+// KeepEmpty is unset), so streaming consumers can reuse the sequence —
+// feeding it to a dfg.Builder, say — without mapping the case twice.
+func (b *Builder) Add(c *trace.Case) (Trace, bool) {
+	l := b.log
+	seq := make(Trace, 0, len(c.Events)+2)
+	if b.opts.Endpoints {
+		seq = append(seq, Start)
+	}
+	n := 0
+	for _, e := range c.Events {
+		a, ok := b.m.Map(e)
+		if !ok {
+			l.unmapped++
 			continue
 		}
-		if opts.Endpoints {
-			seq = append(seq, End)
-		}
-		l.add(seq, c.ID)
+		l.mapped++
+		seq = append(seq, a)
+		n++
 	}
-	return l
+	if n == 0 && !b.opts.KeepEmpty {
+		return nil, false
+	}
+	if b.opts.Endpoints {
+		seq = append(seq, End)
+	}
+	l.add(seq, c.ID)
+	return seq, true
 }
+
+// Finalize returns the accumulated log. The builder must not be used
+// afterwards.
+func (b *Builder) Finalize() *Log { return b.log }
 
 func (l *Log) add(seq Trace, id trace.CaseID) {
 	key := seq.Key()

@@ -82,31 +82,64 @@ func (s *Stats) MaxRelDur() float64 {
 // Compute derives the statistics of every activity of the event-log under
 // the mapping. The computation is a single pass over the events followed
 // by a per-activity aggregation, O(n + Σ_a k_a log k_a) where the log
-// factor comes from the max-concurrency interval sort.
+// factor comes from the max-concurrency interval sort. It is the
+// materializing form of Computer: cases are folded in CaseID order.
 func Compute(el *trace.EventLog, m pm.Mapping) *Stats {
-	s := &Stats{byActivity: make(map[pm.Activity]*ActivityStats)}
-	type accum struct {
-		rateSum   float64
-		rateCount int
-		intervals []trace.Interval
+	c := NewComputer(m)
+	for _, cs := range el.Cases() {
+		c.Add(cs)
 	}
-	acc := make(map[pm.Activity]*accum)
+	return c.Finalize()
+}
 
-	el.Events(func(e trace.Event) {
-		a, ok := m.Map(e)
+// accum carries the per-activity running state that only resolves at
+// Finalize: the mean data rate (Equation 13 needs the event count) and
+// the interval set behind the max-concurrency sweep (Equation 16 needs
+// every interval; this is the one statistic whose working set grows
+// with the activity's events rather than the batch).
+type accum struct {
+	rateSum   float64
+	rateCount int
+	intervals []trace.Interval
+}
+
+// Computer accumulates the Section IV-B statistics one case at a time —
+// the incremental form of Compute that the streaming pipeline feeds.
+// Feeding cases in CaseID order reproduces Compute bit for bit,
+// including the floating-point data-rate sums, which fold in the same
+// order.
+type Computer struct {
+	m   pm.Mapping
+	s   *Stats
+	acc map[pm.Activity]*accum
+}
+
+// NewComputer returns an empty computer for the mapping.
+func NewComputer(m pm.Mapping) *Computer {
+	return &Computer{
+		m:   m,
+		s:   &Stats{byActivity: make(map[pm.Activity]*ActivityStats)},
+		acc: make(map[pm.Activity]*accum),
+	}
+}
+
+// Add folds one case's events into the running statistics.
+func (c *Computer) Add(cs *trace.Case) {
+	for _, e := range cs.Events {
+		a, ok := c.m.Map(e)
 		if !ok {
-			return
+			continue
 		}
-		st := s.byActivity[a]
+		st := c.s.byActivity[a]
 		if st == nil {
 			st = &ActivityStats{Activity: a}
-			s.byActivity[a] = st
-			acc[a] = &accum{}
+			c.s.byActivity[a] = st
+			c.acc[a] = &accum{}
 		}
-		ac := acc[a]
+		ac := c.acc[a]
 		st.Events++
 		st.TotalDur += e.Dur
-		s.TotalDur += e.Dur
+		c.s.TotalDur += e.Dur
 		if e.HasSize() {
 			st.Bytes += e.Size
 			st.HasBytes = true
@@ -117,19 +150,24 @@ func Compute(el *trace.EventLog, m pm.Mapping) *Stats {
 			}
 		}
 		ac.intervals = append(ac.intervals, e.Interval())
-	})
+	}
+}
 
-	for a, st := range s.byActivity {
-		ac := acc[a]
+// Finalize runs the per-activity aggregation (mean rate, max-concurrency
+// sweep, relative-duration normalization) and returns the statistics.
+// The computer must not be used afterwards.
+func (c *Computer) Finalize() *Stats {
+	for a, st := range c.s.byActivity {
+		ac := c.acc[a]
 		if ac.rateCount > 0 {
 			st.ProcRate = ac.rateSum / float64(ac.rateCount)
 		}
 		st.MaxConc = MaxConcurrency(ac.intervals)
-		if s.TotalDur > 0 {
-			st.RelDur = float64(st.TotalDur) / float64(s.TotalDur)
+		if c.s.TotalDur > 0 {
+			st.RelDur = float64(st.TotalDur) / float64(c.s.TotalDur)
 		}
 	}
-	return s
+	return c.s
 }
 
 // MaxConcurrency implements get_max_concurrency of Equation (16): sort

@@ -38,12 +38,18 @@ type Options struct {
 	// EOF) an error instead of a silent drop.
 	Strict bool
 	// Parallelism bounds the number of trace files parsed concurrently
-	// by ReadDir/ReadFS (and, through core.FromStraceDir, the whole
-	// ingestion facade). 0 means runtime.GOMAXPROCS(0); 1 forces the
-	// sequential path. The merged event-log is identical for every
-	// setting: files are parsed independently and merged in sorted
-	// file-name order.
+	// by ReadDir/ReadFS/StreamFS (and, through core.FromStraceDir, the
+	// whole ingestion facade). 0 means runtime.GOMAXPROCS(0); 1 forces
+	// the sequential path. The merged event-log is identical for every
+	// setting: files are parsed independently and delivered in
+	// deterministic CaseID order.
 	Parallelism int
+	// Window bounds how many parsed cases may be resident (fetched but
+	// not yet consumed) in the streaming path at once — the knob behind
+	// the O(batch) memory guarantee of StreamFS/StreamDir. 0 means
+	// 2×Parallelism. The materializing ReadDir/ReadFS honor it too; it
+	// only changes peak memory during ingestion, never the result.
+	Window int
 }
 
 func (o Options) callWanted(name string) bool {

@@ -1,0 +1,71 @@
+package strace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stinspector/internal/trace"
+)
+
+// fuzzSeeds are realistic strace fragments covering the parser's
+// branches: plain calls, -f PID columns, unfinished/resumed pairs,
+// signals, exits, failed and interrupted calls, and junk.
+var fuzzSeeds = []string{
+	`9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, ..., 832) = 832 <0.000203>`,
+	`08:55:54.153994 openat(AT_FDCWD, "/etc/ld.so.cache", O_RDONLY|O_CLOEXEC) = 3</etc/ld.so.cache> <0.000042>`,
+	"9054  08:55:54.100000 write(1</dev/pts/0>, \"x\", 1 <unfinished ...>\n" +
+		"9055  08:55:54.100100 read(4</tmp/a>, ..., 16) = 16 <0.000010>\n" +
+		"9054  08:55:54.100200 <... write resumed>) = 1 <0.000200>",
+	`9054  08:55:54.200000 --- SIGCHLD {si_signo=SIGCHLD} ---`,
+	`9054  08:55:54.300000 +++ exited with 0 +++`,
+	`9054  08:55:54.400000 read(5</tmp/x>, ..., 64) = -1 EAGAIN (Resource temporarily unavailable) <0.000015>`,
+	`9054  08:55:54.500000 read(5</tmp/x>, ..., 64) = ? ERESTARTSYS (To be restarted if SA_RESTART is set) <0.000015>`,
+	`not strace output at all`,
+	``,
+}
+
+// FuzzParseCase: arbitrary trace text must never panic, in any option
+// mode, and whenever a case is produced it must satisfy the event-model
+// invariants (sorted by start time, stamped with the case identity).
+func FuzzParseCase(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	// A writer-dialect seed: a synthetic case rendered back to strace
+	// text, so the fuzzer starts from the full round-trip grammar.
+	var buf bytes.Buffer
+	c := trace.NewCase(trace.CaseID{CID: "seed", Host: "h", RID: 7}, []trace.Event{
+		{PID: 7, Call: "openat", Start: 0, Dur: 1000, FP: "/tmp/f"},
+		{PID: 7, Call: "read", Start: 2000, Dur: 1500, FP: "/tmp/f", Size: 64},
+		{PID: 7, Call: "close", Start: 5000, Dur: 100, FP: "/tmp/f"},
+	})
+	if err := NewWriter(&buf).WriteCase(c); err == nil {
+		f.Add(buf.String())
+	}
+
+	id := trace.CaseID{CID: "fuzz", Host: "h", RID: 1}
+	f.Fuzz(func(t *testing.T, data string) {
+		for _, opts := range []Options{
+			{},
+			{Strict: true},
+			{KeepFailed: true, Calls: map[string]bool{}},
+		} {
+			c, err := ParseCase(id, strings.NewReader(data), opts)
+			if err != nil {
+				continue
+			}
+			if c == nil {
+				t.Fatalf("opts %+v: nil case with nil error", opts)
+			}
+			if !c.Sorted() {
+				t.Fatalf("opts %+v: case not sorted by start time", opts)
+			}
+			for _, e := range c.Events {
+				if e.CaseID() != id {
+					t.Fatalf("opts %+v: event %v carries identity %s, want %s", opts, e, e.CaseID(), id)
+				}
+			}
+		}
+	})
+}

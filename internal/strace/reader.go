@@ -3,7 +3,6 @@ package strace
 import (
 	"bufio"
 	"compress/gzip"
-	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -13,7 +12,7 @@ import (
 	"strings"
 	"sync"
 
-	"stinspector/internal/par"
+	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
 
@@ -133,15 +132,40 @@ func ReadDir(dir string, opts Options) (*trace.EventLog, error) {
 // concurrent Open and file reads (os.DirFS and fstest.MapFS are; the
 // fs.FS contract itself does not guarantee it).
 //
-// Per-file parsing is embarrassingly parallel: ReadFS fans the files out
-// to a bounded worker pool (Options.Parallelism workers) and merges the
-// parsed cases in sorted file-name order, so the resulting event-log is
-// byte-for-byte identical to the sequential one. Error semantics are
-// deterministic too: without Strict the error reported is the one of the
-// first failing file in sorted order (remaining files are abandoned);
-// with Strict every file is parsed to completion and all failures are
-// joined into one error.
+// ReadFS is the materializing form of StreamFS: it drains the stream
+// into an event-log. The result is byte-for-byte identical to the
+// sequential path for every Parallelism setting. Error semantics are
+// deterministic too: without Strict the error reported is the one of
+// the first failing file in case order (remaining files are
+// abandoned); with Strict every file is parsed to completion and all
+// failures are joined into one error.
 func ReadFS(fsys fs.FS, root string, opts Options) (*trace.EventLog, error) {
+	src, err := StreamFS(fsys, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return source.Drain(src, opts.Strict)
+}
+
+// StreamDir is the streaming form of ReadDir: cases arrive one at a
+// time in deterministic CaseID order at O(Options.Window) peak memory.
+func StreamDir(dir string, opts Options) (source.Source, error) {
+	return StreamFS(os.DirFS(dir), ".", opts)
+}
+
+// StreamFS streams the "*.st" / "*.st.gz" trace files under root as a
+// case source. Files are parsed concurrently by Options.Parallelism
+// workers feeding an ordered, bounded reorder window (Options.Window),
+// so cases are delivered in deterministic CaseID order — the same order
+// the materialized event-log keeps — while at most Window parsed cases
+// are resident. A per-file failure surfaces as an error at that case's
+// position and the stream continues, which lets consumers choose
+// between fail-fast (lenient ingestion) and collect-all (Strict).
+// Closing the source cancels outstanding parses and waits for the
+// workers to exit, so an abandoned stream leaks neither goroutines nor
+// file handles.
+func StreamFS(fsys fs.FS, root string, opts Options) (source.Source, error) {
 	entries, err := fs.ReadDir(fsys, root)
 	if err != nil {
 		return nil, err
@@ -155,42 +179,36 @@ func ReadFS(fsys fs.FS, root string, opts Options) (*trace.EventLog, error) {
 			names = append(names, ent.Name())
 		}
 	}
-	sort.Strings(names)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("strace: no *.st or *.st.gz trace files under %q", root)
 	}
+	sortByCase(names)
+	return source.Ordered(len(names), opts.Parallelism, opts.Window, func(i int) (*trace.Case, error) {
+		return parseFSFile(fsys, root, names[i], opts)
+	}), nil
+}
 
-	cases := make([]*trace.Case, len(names))
-	errs := make([]error, len(names))
-	par.ForEach(len(names), opts.Parallelism, func(i int) bool {
-		cases[i], errs[i] = parseFSFile(fsys, root, names[i], opts)
-		// Lenient mode abandons outstanding files once any file has
-		// failed; Strict keeps going so that every failure is reported.
-		return opts.Strict || errs[i] == nil
+// sortByCase orders trace file names by their parsed CaseID — the
+// canonical order of the event-log — so the streaming and materialized
+// pipelines agree on delivery (and first-error) order. Names that do
+// not parse as case identities sort by the whole name in the CID slot,
+// keeping the order total and deterministic; they fail later with a
+// naming error at their position.
+func sortByCase(names []string) {
+	key := func(name string) trace.CaseID {
+		id, err := trace.ParseCaseID(strings.TrimSuffix(name, ".gz"))
+		if err != nil {
+			return trace.CaseID{CID: name}
+		}
+		return id
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ki, kj := key(names[i]), key(names[j])
+		if ki != kj {
+			return ki.Less(kj)
+		}
+		return names[i] < names[j]
 	})
-
-	if opts.Strict {
-		if err := errors.Join(errs...); err != nil {
-			return nil, err
-		}
-	} else {
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	log, err := trace.NewEventLog()
-	if err != nil {
-		return nil, err
-	}
-	for _, c := range cases {
-		if err := log.Add(c); err != nil {
-			return nil, err
-		}
-	}
-	return log, nil
 }
 
 // parseFSFile opens, optionally decompresses, and parses one trace file.

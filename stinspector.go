@@ -27,8 +27,10 @@ import (
 	"stinspector/internal/archive"
 	"stinspector/internal/core"
 	"stinspector/internal/dfg"
+	"stinspector/internal/dxt"
 	"stinspector/internal/pm"
 	"stinspector/internal/render"
+	"stinspector/internal/source"
 	"stinspector/internal/stats"
 	"stinspector/internal/strace"
 	"stinspector/internal/trace"
@@ -223,6 +225,77 @@ func RenderMermaid(g *DFG, s *Stats, styler Styler) string {
 func RenderTimelineSVG(intervals []Interval, title string) string {
 	return render.RenderTimelineSVG(intervals, title)
 }
+
+// Streaming layer: ingest case by case at O(batch) memory instead of
+// materializing the event-log (see internal/source).
+type (
+	// Source streams cases in deterministic CaseID order; see the Next
+	// contract on source.Source. Close cancels outstanding work.
+	Source = source.Source
+	// StreamResult bundles the artifacts of one bounded-memory pass:
+	// activity-log, DFG, statistics, and ingestion accounting.
+	StreamResult = core.StreamResult
+)
+
+// StreamStraceDir streams the *.st[.gz] files under dir: files are
+// parsed by opts.Parallelism workers into an ordered window of at most
+// opts.Window resident cases.
+func StreamStraceDir(dir string, opts ParseOptions) (Source, error) {
+	return strace.StreamDir(dir, opts)
+}
+
+// StreamArchive streams the cases of an STA file with the given decode
+// parallelism and resident-case window (0s mean GOMAXPROCS and
+// 2×workers). The returned source owns the file; Close releases it.
+func StreamArchive(path string, parallelism, window int) (Source, error) {
+	return archive.StreamLog(path, parallelism, window)
+}
+
+// StreamDXT streams the cases of a Darshan DXT text dump. The record
+// text is parsed up front (DXT interleaves cases, so grouping needs the
+// whole dump), but the per-case event construction runs lazily in the
+// stream's workers.
+func StreamDXT(cid string, r io.Reader, parallelism, window int) (Source, error) {
+	records, err := dxt.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return dxt.Stream(cid, records, parallelism, window), nil
+}
+
+// StreamEventLog adapts an in-memory event-log to the streaming API.
+func StreamEventLog(el *EventLog) Source { return source.FromLog(el) }
+
+// FilterStream derives a source keeping only events for which keep
+// returns true; cases left empty are dropped, matching EventLog.Filter.
+func FilterStream(s Source, keep func(Event) bool) Source {
+	return source.Filter(s, keep)
+}
+
+// FilterStreamCases derives a source keeping only the cases for which
+// keep returns true — the streaming form of EventLog.FilterCases, and
+// the case-split primitive behind partition analyses over streams.
+func FilterStreamCases(s Source, keep func(*Case) bool) Source {
+	return source.FilterCases(s, keep)
+}
+
+// AnalyzeStream consumes a source in one bounded-memory pass and
+// returns the activity-log, DFG and statistics — identical to the
+// in-memory pipeline's artifacts. joinErrors selects collect-all
+// (Strict) versus fail-fast error semantics. The source is not closed.
+func AnalyzeStream(src Source, m Mapping, joinErrors bool) (*StreamResult, error) {
+	return core.AnalyzeStream(src, m, joinErrors)
+}
+
+// LoadStream materializes a source into an Inspector — the in-memory
+// API on top of the streaming one.
+func LoadStream(src Source, joinErrors bool) (*Inspector, error) {
+	return core.LoadStream(src, joinErrors)
+}
+
+// PeakResident reports how many cases a source held resident at its
+// peak (0 if untracked) — the observable behind the O(batch) claim.
+func PeakResident(s Source) int { return source.PeakResident(s) }
 
 // MergeArchives consolidates several STA files into one; case identities
 // must be disjoint.

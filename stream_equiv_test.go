@@ -1,0 +1,164 @@
+package stinspector
+
+// Streaming/in-memory equivalence properties: for synth-generated trace
+// directories, STA archives and DXT dumps, the streaming pipeline's
+// DFG, footprint matrix and all four Section IV-B statistics must be
+// byte-identical to the in-memory pipeline at parallelism 1, 4 and
+// GOMAXPROCS — the acceptance bar of the streaming refactor. The
+// comparison serializes every float with strconv at full precision, so
+// even a last-bit divergence (a re-ordered floating-point fold, say)
+// fails.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"stinspector/internal/archive"
+	"stinspector/internal/dxt"
+	"stinspector/internal/source"
+	"stinspector/internal/strace"
+	"stinspector/internal/synth"
+	"stinspector/internal/trace"
+)
+
+// equivParallelisms are the worker counts the property must hold at.
+func equivParallelisms() []int {
+	ps := []int{1, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 4 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// artifacts serializes the full synthesis output — DFG listing,
+// footprint matrix, and the four per-activity statistics at full float
+// precision — into one comparable string.
+func artifacts(g *DFG, st *Stats) string {
+	var b strings.Builder
+	b.WriteString(RenderText(g, st, nil))
+	b.WriteString(NewFootprint(g).String())
+	for _, a := range st.Activities() {
+		s := st.Get(a)
+		fmt.Fprintf(&b, "%s events=%d totaldur=%d reldur=%s bytes=%d/%v procrate=%s maxconc=%d\n",
+			a, s.Events, int64(s.TotalDur),
+			strconv.FormatFloat(s.RelDur, 'g', -1, 64),
+			s.Bytes, s.HasBytes,
+			strconv.FormatFloat(s.ProcRate, 'g', -1, 64),
+			s.MaxConc)
+	}
+	return b.String()
+}
+
+// inMemoryArtifacts runs the materialized pipeline over an event-log.
+func inMemoryArtifacts(el *EventLog) string {
+	in := FromEventLog(el)
+	return artifacts(in.DFG(), in.Stats())
+}
+
+// streamArtifacts runs the bounded-memory pipeline over a source.
+func streamArtifacts(t *testing.T, src Source, joinErrors bool) string {
+	t.Helper()
+	defer src.Close()
+	res, err := AnalyzeStream(src, CallTopDirs{Depth: 2}, joinErrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifacts(res.DFG, res.Stats)
+}
+
+// equivCheck compares the streaming artifacts against the in-memory
+// baseline for every parallelism/window combination.
+func equivCheck(t *testing.T, kind, want string, open func(parallelism, window int) Source) {
+	t.Helper()
+	for _, p := range equivParallelisms() {
+		for _, w := range []int{0, 1, 3} {
+			got := streamArtifacts(t, open(p, w), true)
+			if got != want {
+				t.Errorf("%s: streaming artifacts differ from in-memory at parallelism=%d window=%d.\n--- streaming ---\n%s\n--- in-memory ---\n%s",
+					kind, p, w, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamEquivalenceStraceDir: trace-directory ingestion.
+func TestStreamEquivalenceStraceDir(t *testing.T) {
+	log := synth.Log("eq", 41, 160, 20240924)
+	fsys := fstest.MapFS{}
+	for _, c := range log.Cases() {
+		var buf bytes.Buffer
+		if err := strace.NewWriter(&buf).WriteCase(c); err != nil {
+			t.Fatal(err)
+		}
+		fsys[c.ID.FileName()] = &fstest.MapFile{Data: buf.Bytes()}
+	}
+	el, err := strace.ReadFS(fsys, ".", strace.Options{Strict: true, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMemoryArtifacts(el)
+	equivCheck(t, "strace", want, func(p, w int) Source {
+		src, err := strace.StreamFS(fsys, ".", strace.Options{Strict: true, Parallelism: p, Window: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	})
+}
+
+// TestStreamEquivalenceArchive: STA section decode.
+func TestStreamEquivalenceArchive(t *testing.T) {
+	log := synth.Log("eqa", 33, 200, 7)
+	var buf bytes.Buffer
+	if err := archive.Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMemoryArtifacts(el)
+	equivCheck(t, "archive", want, func(p, w int) Source { return r.Stream(p, w) })
+}
+
+// TestStreamEquivalenceDXT: Darshan DXT case construction.
+func TestStreamEquivalenceDXT(t *testing.T) {
+	log := synth.Log("dxt", 29, 180, 11)
+	var buf bytes.Buffer
+	if _, err := dxt.Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	records, err := dxt.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := dxt.ToEventLogParallel("dxt", records, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMemoryArtifacts(el)
+	equivCheck(t, "dxt", want, func(p, w int) Source { return dxt.Stream("dxt", records, p, w) })
+}
+
+// TestStreamEquivalenceFiltered: the streaming event filter must match
+// EventLog.Filter through the whole pipeline, not just case counts.
+func TestStreamEquivalenceFiltered(t *testing.T) {
+	log := synth.Log("eqf", 17, 140, 5)
+	keep := func(e trace.Event) bool { return strings.Contains(e.FP, "part0") }
+	want := inMemoryArtifacts(log.Filter(keep))
+	for _, p := range equivParallelisms() {
+		got := streamArtifacts(t, source.Filter(source.FromLog(log), keep), false)
+		if got != want {
+			t.Errorf("filtered stream differs from in-memory at parallelism=%d", p)
+		}
+	}
+}
