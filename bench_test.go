@@ -347,6 +347,39 @@ func BenchmarkStreamIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkAnalyzeStreamParallel: the sharded analysis fold (activity
+// log + DFG + statistics synthesis) over an already-materialized
+// event-log, so the numbers isolate analysis throughput from parsing —
+// the counterpart of BenchmarkReadDirParallel for the stage after
+// ingestion. Swept at shards 1 / 4 / GOMAXPROCS; every setting produces
+// byte-identical artifacts (stream_equiv_test.go), so the sweep
+// measures a pure throughput knob. The events/s metric is the one
+// stbench -ingest reports and TestAnalyzeParallelSpeedup gates.
+func BenchmarkAnalyzeStreamParallel(b *testing.B) {
+	el := synthLog(200_000, 64, 32, 13)
+	for _, shards := range []int{1, 4, 0} {
+		name := fmt.Sprintf("shards=%d", shards)
+		if shards == 0 {
+			name = "shards=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := source.FromLog(el)
+				res, err := AnalyzeStreamParallel(src, CallTopDirs{Depth: 2}, shards, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Events != el.NumEvents() {
+					b.Fatalf("lost events: got %d, want %d", res.Events, el.NumEvents())
+				}
+				src.Close()
+			}
+			b.ReportMetric(float64(el.NumEvents())*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkArchiveReadParallel: concurrent STA section decode.
 func BenchmarkArchiveReadParallel(b *testing.B) {
 	el := synthLog(100_000, 64, 32, 12)

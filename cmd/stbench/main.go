@@ -15,9 +15,12 @@
 // times sequential (Parallelism: 1), parallel (-j workers) ReadDir, and
 // the streaming pass (-window resident cases, never materializing the
 // event-log), reporting the speedup and the peak number of cases
-// resident:
+// resident. It then times the analysis fold (activity-log + DFG +
+// statistics synthesis) separately, over the already-ingested log, at
+// one shard and at -ashards shards, so ingest-bound and analysis-bound
+// regressions are distinguishable:
 //
-//	stbench -ingest 200 -events 2000 -j 8 -window 16
+//	stbench -ingest 200 -events 2000 -j 8 -window 16 -ashards 8
 package main
 
 import (
@@ -29,7 +32,9 @@ import (
 	"strings"
 	"time"
 
+	"stinspector/internal/core"
 	"stinspector/internal/experiments"
+	"stinspector/internal/pm"
 	"stinspector/internal/source"
 	"stinspector/internal/strace"
 	"stinspector/internal/synth"
@@ -56,12 +61,13 @@ func run(args []string) error {
 	events := fs.Int("events", 2000, "events per synthetic trace file (-ingest mode)")
 	jobs := fs.Int("j", 0, "parallel ingestion workers (-ingest mode; 0 = GOMAXPROCS)")
 	window := fs.Int("window", 0, "streaming pass: max cases resident (-ingest mode; 0 = 2x workers)")
+	ashards := fs.Int("ashards", 0, "analysis fold shards (-ingest mode; 0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *ingest > 0 {
-		return ingestBench(*ingest, *events, *jobs, *window, *seed)
+		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed)
 	}
 
 	scale := experiments.Scale{
@@ -103,14 +109,20 @@ func run(args []string) error {
 	return nil
 }
 
-// ingestBench synthesizes a trace directory of nFiles per-rank files and
-// times sequential ReadDir, parallel ReadDir, and the streaming pass.
-func ingestBench(nFiles, perFile, jobs, window int, seed int64) error {
+// ingestBench synthesizes a trace directory of nFiles per-rank files,
+// times sequential ReadDir, parallel ReadDir, and the streaming pass
+// (the ingest section), then times the analysis fold over the already
+// materialized log at one shard versus ashards shards (the analysis
+// section) — so a regression report names the stage that slowed down.
+func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if window <= 0 {
 		window = 2 * jobs // the streaming default, resolved for reporting
+	}
+	if ashards <= 0 {
+		ashards = runtime.GOMAXPROCS(0)
 	}
 	dir, err := os.MkdirTemp("", "stbench-ingest")
 	if err != nil {
@@ -188,11 +200,52 @@ func ingestBench(nFiles, perFile, jobs, window int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-32s %12s %14s\n", "PIPELINE", "WALL", "THROUGHPUT")
+	fmt.Printf("%-32s %12s %14s\n", "INGEST", "WALL", "THROUGHPUT")
 	fmt.Printf("%-32s %12v %11.1f MB/s\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds())
 	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds())
 	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("streaming (j=%d, window=%d)", jobs, window), str.Round(time.Millisecond), float64(bytes)/1e6/str.Seconds())
-	fmt.Printf("speedup: %.2fx\n", seq.Seconds()/par.Seconds())
+	fmt.Printf("ingest speedup: %.2fx\n", seq.Seconds()/par.Seconds())
 	fmt.Printf("peak cases resident (streaming): %d of %d files\n", peak, nFiles)
+
+	// Analysis section: fold the already-materialized log through the
+	// streaming analysis so the numbers isolate synthesis (activity-log
+	// + DFG + statistics) from parsing. The sharded fold must reproduce
+	// the sequential artifacts byte-identically; counts are checked here
+	// as a cheap smoke of that law.
+	runAnalysis := func(shards int) (time.Duration, *core.StreamResult, error) {
+		src := source.FromLog(log)
+		defer src.Close()
+		start := time.Now()
+		res, err := core.AnalyzeStreamParallel(src, pm.CallTopDirs{Depth: 2}, shards, true)
+		if err != nil {
+			return 0, nil, err
+		}
+		if res.Events != log.NumEvents() {
+			return 0, nil, fmt.Errorf("analysis dropped events at shards=%d: got %d, want %d", shards, res.Events, log.NumEvents())
+		}
+		return time.Since(start), res, nil
+	}
+	if _, _, err := runAnalysis(ashards); err != nil { // warm
+		return err
+	}
+	aseq, seqRes, err := runAnalysis(1)
+	if err != nil {
+		return err
+	}
+	apar, parRes, err := runAnalysis(ashards)
+	if err != nil {
+		return err
+	}
+	if seqRes.ActivityLog.NumVariants() != parRes.ActivityLog.NumVariants() ||
+		seqRes.DFG.NumEdges() != parRes.DFG.NumEdges() {
+		return fmt.Errorf("sharded analysis diverged: %d/%d variants, %d/%d edges",
+			seqRes.ActivityLog.NumVariants(), parRes.ActivityLog.NumVariants(),
+			seqRes.DFG.NumEdges(), parRes.DFG.NumEdges())
+	}
+	mevs := func(d time.Duration) float64 { return float64(log.NumEvents()) / 1e6 / d.Seconds() }
+	fmt.Printf("\n%-32s %12s %14s\n", "ANALYSIS", "WALL", "THROUGHPUT")
+	fmt.Printf("%-32s %12v %8.2f Mevents/s\n", "sequential fold (shards=1)", aseq.Round(time.Millisecond), mevs(aseq))
+	fmt.Printf("%-32s %12v %8.2f Mevents/s\n", fmt.Sprintf("sharded fold (shards=%d)", ashards), apar.Round(time.Millisecond), mevs(apar))
+	fmt.Printf("analysis speedup: %.2fx\n", aseq.Seconds()/apar.Seconds())
 	return nil
 }

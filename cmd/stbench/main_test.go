@@ -26,3 +26,14 @@ func TestRunUnknownFigure(t *testing.T) {
 		t.Errorf("unknown figure accepted")
 	}
 }
+
+// TestRunIngestBench drives the full -ingest mode at tiny scale: both
+// the ingest section (sequential / parallel / streaming) and the
+// analysis section (sequential vs sharded fold, with the built-in
+// artifact-divergence check) must run green.
+func TestRunIngestBench(t *testing.T) {
+	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-window", "4", "-ashards", "3"})
+	if err != nil {
+		t.Errorf("run(-ingest): %v", err)
+	}
+}

@@ -19,14 +19,18 @@
 // "env:PREFIX=VAR,...[:DEPTH]" (site-variable abstraction f̄).
 //
 // All subcommands accept -j N to bound ingestion parallelism (trace
-// files parsed or archive cases decoded concurrently; 0 = GOMAXPROCS).
+// files parsed or archive cases decoded concurrently; omit for
+// GOMAXPROCS).
 //
 // The dfg, stats, variants, info and footprint subcommands additionally
 // accept -stream, which synthesizes the artifacts in a single
 // bounded-memory pass without materializing the event-log — trace sets
 // larger than RAM stay inspectable. -window N caps how many parsed
-// cases are resident at once (0 = 2×parallelism); the output is
-// byte-identical to the in-memory path for every -j/-window setting.
+// cases are resident at once (default 2×parallelism), and -ashards N
+// shards the analysis fold itself over N workers whose partials merge
+// exactly; the output is byte-identical to the in-memory path for every
+// -j/-window/-ashards setting. All three flags require values >= 1
+// when given; omitting a flag selects its default.
 package main
 
 import (
@@ -68,10 +72,14 @@ func run(args []string) error {
 	out := fs.String("o", "", "output file (archive subcommand)")
 	title := fs.String("title", "", "report title (report subcommand)")
 	lenient := fs.Bool("lenient", false, "skip unparseable trace lines instead of failing")
-	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (>= 1; omit for GOMAXPROCS)")
 	stream := fs.Bool("stream", false, "bounded-memory streaming pass (dfg, stats, variants, info, footprint): never materializes the event-log")
-	window := fs.Int("window", 0, "streaming mode: max cases resident at once (0 = 2x parallelism)")
+	window := fs.Int("window", 0, "streaming mode: max cases resident at once (>= 1; omit for 2x parallelism)")
+	ashards := fs.Int("ashards", 0, "streaming mode: analysis shards, concurrent fold workers whose partials merge exactly (>= 1; omit for GOMAXPROCS)")
 	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if err := validateCountFlags(fs, "j", "window", "ashards"); err != nil {
 		return err
 	}
 
@@ -142,7 +150,7 @@ func run(args []string) error {
 			if keep != nil {
 				src = stinspector.FilterStreamCases(src, keep)
 			}
-			return stinspector.AnalyzeStream(src, m, !*lenient)
+			return stinspector.AnalyzeStreamParallel(src, m, *ashards, !*lenient)
 		}
 		if cmd == "footprint" && *green != "" {
 			// Partition comparison over streams: one pass per subset
@@ -420,6 +428,29 @@ func runStreamed(cmd string, res *stinspector.StreamResult, format string) error
 	default:
 		return fmt.Errorf("subcommand %q needs the in-memory event-log; drop -stream", cmd)
 	}
+}
+
+// validateCountFlags rejects worker/window counts below 1 on any of the
+// named flags the user explicitly set, with a usage error naming the
+// flag — instead of letting a nonsense value select an engine default
+// (or worse) deep in the pipeline. Omitted flags keep their documented
+// automatic defaults.
+func validateCountFlags(fs *flag.FlagSet, names ...string) error {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	var err error
+	fs.Visit(func(f *flag.Flag) {
+		if err != nil || !set[f.Name] {
+			return
+		}
+		v, convErr := strconv.Atoi(f.Value.String())
+		if convErr != nil || v < 1 {
+			err = fmt.Errorf("-%s must be at least 1 (got %s); omit the flag for the default", f.Name, f.Value)
+		}
+	})
+	return err
 }
 
 // parseMapping parses the -map syntax.

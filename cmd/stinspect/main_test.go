@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"stinspector"
@@ -128,6 +129,46 @@ func TestRunErrors(t *testing.T) {
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunCountFlagValidation: explicit -j/-window/-ashards values below
+// 1 must fail up front with a usage error naming the flag, before any
+// ingestion work; omitting a flag keeps its automatic default.
+func TestRunCountFlagValidation(t *testing.T) {
+	dir := demoDir(t)
+	for _, tc := range []struct{ flag, value string }{
+		{"-j", "0"}, {"-j", "-4"},
+		{"-window", "0"}, {"-window", "-1"},
+		{"-ashards", "0"}, {"-ashards", "-2"},
+	} {
+		err := run([]string{"dfg", "-traces", dir, "-stream", tc.flag, tc.value})
+		if err == nil {
+			t.Errorf("dfg -stream %s %s succeeded, want usage error", tc.flag, tc.value)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) || !strings.Contains(err.Error(), "at least 1") {
+			t.Errorf("%s %s: error %q does not name the flag and bound", tc.flag, tc.value, err)
+		}
+	}
+	// The validation also guards the non-streaming path.
+	if err := run([]string{"dfg", "-traces", dir, "-j", "-1"}); err == nil {
+		t.Errorf("in-memory dfg with -j -1 succeeded, want usage error")
+	}
+	// Valid explicit values still work.
+	if err := run([]string{"dfg", "-traces", dir, "-stream", "-j", "2", "-window", "3", "-ashards", "2"}); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+}
+
+// TestRunStreamSharded: the -ashards knob drives the sharded analysis
+// fold end to end over every streamed subcommand.
+func TestRunStreamSharded(t *testing.T) {
+	dir := demoDir(t)
+	for _, cmd := range []string{"dfg", "stats", "variants", "info", "footprint"} {
+		if err := run([]string{cmd, "-traces", dir, "-stream", "-ashards", "4"}); err != nil {
+			t.Errorf("%s -stream -ashards 4: %v", cmd, err)
 		}
 	}
 }

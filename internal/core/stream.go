@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+
 	"stinspector/internal/dfg"
 	"stinspector/internal/pm"
 	"stinspector/internal/source"
@@ -37,26 +39,85 @@ type StreamResult struct {
 // the first failing case (lenient ingestion), true skips failing cases
 // and returns every failure joined (strace Strict semantics). The
 // source is not closed; callers own its lifetime.
+//
+// AnalyzeStream is the one-shard case of AnalyzeStreamParallel: there
+// is exactly one analysis fold in the tree.
 func AnalyzeStream(src source.Source, m pm.Mapping, joinErrors bool) (*StreamResult, error) {
-	pmB := pm.NewBuilder(m, pm.BuildOptions{Endpoints: true})
-	dfgB := dfg.NewBuilder()
-	stC := stats.NewComputer(m)
-	res := &StreamResult{}
-	err := source.Walk(src, joinErrors, func(c *trace.Case) error {
-		res.Cases++
-		res.Events += len(c.Events)
-		if seq, ok := pmB.Add(c); ok {
-			dfgB.AddTrace(seq)
+	return AnalyzeStreamParallel(src, m, 1, joinErrors)
+}
+
+// shardPartial is one shard's builder set: the per-shard state of the
+// parallel fold, merged in shard order once the stream is exhausted.
+type shardPartial struct {
+	pmB   *pm.Builder
+	dfgB  *dfg.Builder
+	stC   *stats.Computer
+	cases int
+	evs   int
+}
+
+func (p *shardPartial) fold(c *trace.Case) error {
+	p.cases++
+	p.evs += len(c.Events)
+	if seq, ok := p.pmB.Add(c); ok {
+		p.dfgB.AddTrace(seq)
+	}
+	p.stC.Add(c)
+	return nil
+}
+
+// AnalyzeStreamParallel is AnalyzeStream with the analysis fold itself
+// sharded: source.ShardedFold round-robins case blocks to shards
+// workers, each owning its own builder set, and the shard partials are
+// merged in shard order afterwards. Because every aggregate merge is
+// exact — integer counts and sums, sorted case-list interleaves, a
+// totally-ordered max-concurrency sweep — the result is byte-identical
+// to the sequential fold at every shard count; shard count is a pure
+// throughput knob, never observable in the artifacts.
+//
+// shards <= 0 means runtime.GOMAXPROCS(0); shards == 1 folds inline
+// with no worker goroutines. joinErrors as in AnalyzeStream. The
+// source is not closed.
+func AnalyzeStreamParallel(src source.Source, m pm.Mapping, shards int, joinErrors bool) (*StreamResult, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	parts := make([]*shardPartial, shards)
+	for i := range parts {
+		parts[i] = &shardPartial{
+			pmB:  pm.NewBuilder(m, pm.BuildOptions{Endpoints: true}),
+			dfgB: dfg.NewBuilder(),
+			stC:  stats.NewComputer(m),
 		}
-		stC.Add(c)
-		return nil
+	}
+	err := source.ShardedFold(src, shards, 0, joinErrors, func(shard int, c *trace.Case) error {
+		return parts[shard].fold(c)
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.ActivityLog = pmB.Finalize()
-	res.DFG = dfgB.Finalize()
-	res.Stats = stC.Finalize()
+	res := &StreamResult{}
+	for _, p := range parts {
+		res.Cases += p.cases
+		res.Events += p.evs
+	}
+	if shards == 1 {
+		res.ActivityLog = parts[0].pmB.Finalize()
+		res.DFG = parts[0].dfgB.Finalize()
+		res.Stats = parts[0].stC.Finalize()
+	} else {
+		logs := make([]*pm.Log, shards)
+		graphs := make([]*dfg.Graph, shards)
+		comps := make([]*stats.Computer, shards)
+		for i, p := range parts {
+			logs[i] = p.pmB.Finalize()
+			graphs[i] = p.dfgB.Finalize()
+			comps[i] = p.stC
+		}
+		res.ActivityLog = pm.MergeLogs(logs...)
+		res.DFG = dfg.Merge(graphs...)
+		res.Stats = stats.Merge(comps...)
+	}
 	res.PeakResident = source.PeakResident(src)
 	return res, nil
 }

@@ -83,6 +83,33 @@ func (b *Builder) AddVariant(seq pm.Trace, mult int) {
 // afterwards.
 func (b *Builder) Finalize() *Graph { return b.g }
 
+// Merge folds another graph's occurrence counts into g. The graph is
+// pure counting, so the merge is exact and order-insensitive: merging
+// shard partials in any order equals building one graph from all the
+// traces. o stays usable.
+func (g *Graph) Merge(o *Graph) {
+	if o == nil {
+		return
+	}
+	g.traces += o.traces
+	for a, c := range o.nodes {
+		g.nodes[a] += c
+	}
+	for e, c := range o.edges {
+		g.edges[e] += c
+	}
+}
+
+// Merge merges partial graphs (shard partials of one logical fold) into
+// a new graph; the inputs stay usable.
+func Merge(graphs ...*Graph) *Graph {
+	out := New()
+	for _, g := range graphs {
+		out.Merge(g)
+	}
+	return out
+}
+
 // AddNode inserts (or increments) a node with the given occurrence count,
 // for manual graph construction in tools and tests.
 func (g *Graph) AddNode(a pm.Activity, count int) {

@@ -308,3 +308,49 @@ func TestEmptyGraph(t *testing.T) {
 		t.Errorf("empty TotalEdgeCount = %d", g.TotalEdgeCount())
 	}
 }
+
+// TestMergeReproducesBuild is the dfg merge law: partition an
+// activity-log's variants over partial builders, merge the partial
+// graphs, and the result must Equal the graph built in one pass —
+// whatever the partition or the merge order.
+func TestMergeReproducesBuild(t *testing.T) {
+	m := pm.CallTopDirs{Depth: 2}
+	l := pm.Build(trace.MustUnion(logA(t), logB(t)), m, pm.BuildOptions{Endpoints: true})
+	want := Build(l)
+	for shards := 1; shards <= 4; shards++ {
+		builders := make([]*Builder, shards)
+		for i := range builders {
+			builders[i] = NewBuilder()
+		}
+		for i, v := range l.Variants() {
+			builders[i%shards].AddVariant(v.Seq, v.Mult)
+		}
+		graphs := make([]*Graph, shards)
+		for i, b := range builders {
+			graphs[i] = b.Finalize()
+		}
+		got := Merge(graphs...)
+		if !got.Equal(want) {
+			t.Errorf("shards=%d: merged graph differs from one-pass build:\n%s\nwant:\n%s", shards, got, want)
+		}
+		if got.NumTraces() != want.NumTraces() {
+			t.Errorf("shards=%d: traces = %d, want %d", shards, got.NumTraces(), want.NumTraces())
+		}
+	}
+}
+
+// TestMergeIdentityAndInputs: merging with empty graphs is the
+// identity, and Merge leaves its inputs untouched.
+func TestMergeIdentityAndInputs(t *testing.T) {
+	l := pm.Build(logA(t), pm.CallTopDirs{Depth: 2}, pm.BuildOptions{Endpoints: true})
+	g := Build(l)
+	nodes, edges, traces := g.NumNodes(), g.NumEdges(), g.NumTraces()
+	got := Merge(New(), g, nil, New())
+	if !got.Equal(g) || got.NumTraces() != traces {
+		t.Errorf("identity law violated:\n%s\nwant:\n%s", got, g)
+	}
+	got.AddNode("extra:/node", 1)
+	if g.NumNodes() != nodes || g.NumEdges() != edges {
+		t.Errorf("Merge aliased its input: %d/%d nodes, want %d/%d", g.NumNodes(), g.NumEdges(), nodes, edges)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -79,6 +80,41 @@ func TestGoldenFig3dTextStreaming(t *testing.T) {
 	for _, v := range []string{"Load:0.22 (14.98 KB)", "Load:0.27 (2.87 KB)", "[red]", "DR: 2x"} {
 		if !strings.Contains(txt, v) {
 			t.Errorf("streaming fig3d.txt missing %q", v)
+		}
+	}
+}
+
+// TestGoldenFig3dShardedAnalysis re-derives the fig3d artifacts through
+// AnalyzeStreamParallel at several shard counts: the golden bytes must
+// be reproduced exactly whatever the sharding — the merge layer's
+// "shard count is never observable" law pinned against real artifacts.
+func TestGoldenFig3dShardedAnalysis(t *testing.T) {
+	_, _, cx := lssim.Both(lssim.Config{})
+	m := pm.CallTopDirs{Depth: 2}
+	wantDot := goldenBytes(t, "fig3d.dot")
+	wantTxt := goldenBytes(t, "fig3d.txt")
+	for _, shards := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		analyze := func(keep func(*trace.Case) bool) *core.StreamResult {
+			src := source.FromLog(cx)
+			if keep != nil {
+				src = source.FilterCases(src, keep)
+			}
+			defer src.Close()
+			res, err := core.AnalyzeStreamParallel(src, m, shards, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		full := analyze(nil)
+		green := analyze(func(c *trace.Case) bool { return c.ID.CID == "a" })
+		red := analyze(func(c *trace.Case) bool { return c.ID.CID != "a" })
+		part := dfg.Classify(full.DFG, green.DFG, red.DFG)
+		if dot := render.RenderDOT(full.DFG, full.Stats, render.PartitionColoring{Partition: part}); dot != wantDot {
+			t.Errorf("shards=%d: fig3d.dot differs from golden", shards)
+		}
+		if txt := render.RenderText(full.DFG, full.Stats, part); txt != wantTxt {
+			t.Errorf("shards=%d: fig3d.txt differs from golden", shards)
 		}
 	}
 }

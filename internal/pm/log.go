@@ -131,16 +131,22 @@ func (l *Log) add(seq Trace, id trace.CaseID) {
 	v, ok := l.byKey[key]
 	if !ok {
 		v = &Variant{Seq: seq}
-		l.byKey[key] = v
-		i := sort.Search(len(l.variants), func(i int) bool {
-			return l.variants[i].Seq.Key() >= key
-		})
-		l.variants = append(l.variants, nil)
-		copy(l.variants[i+1:], l.variants[i:])
-		l.variants[i] = v
+		l.insertVariant(key, v)
 	}
 	v.Mult++
 	v.Cases = append(v.Cases, id)
+}
+
+// insertVariant registers a new variant under key, keeping the variants
+// slice in its deterministic lexicographic-by-key order.
+func (l *Log) insertVariant(key string, v *Variant) {
+	l.byKey[key] = v
+	i := sort.Search(len(l.variants), func(i int) bool {
+		return l.variants[i].Seq.Key() >= key
+	})
+	l.variants = append(l.variants, nil)
+	copy(l.variants[i+1:], l.variants[i:])
+	l.variants[i] = v
 }
 
 // Variants returns the distinct traces with multiplicities, in
@@ -200,28 +206,89 @@ func (l *Log) Activities() []Activity {
 	return out
 }
 
-// Union returns the multiset union of activity-logs, for example
-// L_f(C_x) = L_f(C_a) ∪ L_f(C_b).
-func UnionLogs(logs ...*Log) *Log {
-	out := &Log{byKey: make(map[string]*Variant)}
-	for _, l := range logs {
-		if l == nil {
+// Merge folds another activity-log into l — the exact multiset union
+// underlying both UnionLogs and the sharded analysis fold. Variant
+// multiplicities and the mapped/unmapped counters are integer sums, and
+// each variant's case list is stitched by a stable sorted merge on
+// CaseID (ties keep l's entries first). When every input's per-variant
+// case list is ascending — true for any log a Builder was fed in CaseID
+// order, which is what every streaming source delivers — merging shard
+// partials in any order reproduces the sequential fold byte-for-byte.
+// o's variants are copied; o stays usable.
+func (l *Log) Merge(o *Log) {
+	if o == nil {
+		return
+	}
+	l.mapped += o.mapped
+	l.unmapped += o.unmapped
+	for _, ov := range o.variants {
+		key := ov.Seq.Key()
+		v, ok := l.byKey[key]
+		if !ok {
+			l.insertVariant(key, &Variant{Seq: ov.Seq, Mult: ov.Mult, Cases: paddedCases(ov)})
 			continue
 		}
-		out.mapped += l.mapped
-		out.unmapped += l.unmapped
-		for _, v := range l.variants {
-			for i := 0; i < v.Mult; i++ {
-				var id trace.CaseID
-				if i < len(v.Cases) {
-					id = v.Cases[i]
-				}
-				out.add(v.Seq, id)
-			}
+		// mergeCaseLists copies into a fresh slice, so o's list can be
+		// read in place here; only the retained new-variant branch above
+		// needs its own copy.
+		v.Cases = mergeCaseLists(paddedCasesInPlace(v), paddedCasesInPlace(ov))
+		v.Mult += ov.Mult
+	}
+}
+
+// paddedCases returns a copy of the variant's case list, padded with
+// zero CaseIDs up to its multiplicity (a variant built by a Builder
+// always records one case per count; hand-built logs may not).
+func paddedCases(v *Variant) []trace.CaseID {
+	out := make([]trace.CaseID, v.Mult)
+	copy(out, v.Cases)
+	return out
+}
+
+// paddedCasesInPlace is paddedCases without the copy when no padding is
+// needed — the receiver side of Merge owns its list already.
+func paddedCasesInPlace(v *Variant) []trace.CaseID {
+	if len(v.Cases) == v.Mult {
+		return v.Cases
+	}
+	return paddedCases(v)
+}
+
+// mergeCaseLists merges two case lists by CaseID, taking from a first
+// on ties. For ascending inputs the result is the ascending interleave
+// — exactly the list a sequential fold over the combined case stream
+// would have recorded.
+func mergeCaseLists(a, b []trace.CaseID) []trace.CaseID {
+	out := make([]trace.CaseID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Less(a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
 		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// MergeLogs merges partial activity-logs (shard partials of one logical
+// fold) into a new log; the inputs stay usable. nil inputs are skipped.
+func MergeLogs(logs ...*Log) *Log {
+	out := &Log{byKey: make(map[string]*Variant)}
+	for _, l := range logs {
+		out.Merge(l)
 	}
 	return out
 }
+
+// UnionLogs returns the multiset union of activity-logs, for example
+// L_f(C_x) = L_f(C_a) ∪ L_f(C_b). It is MergeLogs under the paper's
+// name: variants stay in the deterministic lexicographic-by-key order,
+// and each variant's case list is merged in CaseID order.
+func UnionLogs(logs ...*Log) *Log { return MergeLogs(logs...) }
 
 // TopVariants returns the k most frequent variants (ties broken by the
 // deterministic variant order). Trace-variant ranking is the standard

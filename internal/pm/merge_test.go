@@ -1,0 +1,179 @@
+package pm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"stinspector/internal/trace"
+)
+
+// mergeCase builds a one-variant case whose trace is determined by kind,
+// so tests can steer which cases collapse into which variants.
+func mergeCase(rid int, kind int) *trace.Case {
+	evs := []trace.Event{
+		{Call: "read", FP: "/usr/lib/a.so", Start: 1, Dur: 10 * time.Microsecond, Size: 100},
+	}
+	for i := 0; i < kind; i++ {
+		evs = append(evs, trace.Event{Call: "write", FP: "/dev/pts/7", Start: time.Duration(2 + i), Dur: 10 * time.Microsecond, Size: 50})
+	}
+	return trace.NewCase(trace.CaseID{CID: "m", Host: "h", RID: rid}, evs)
+}
+
+// TestMergeLogsReproducesSequential is the pm merge law: round-robin the
+// cases of a log over k partial builders, merge the partials in shard
+// order, and the result must equal the sequential fold in every field —
+// variant order, multiplicities, interleaved case lists, event counters.
+func TestMergeLogsReproducesSequential(t *testing.T) {
+	m := CallTopDirs{Depth: 2}
+	opts := BuildOptions{Endpoints: true}
+	var cases []*trace.Case
+	for rid := 0; rid < 37; rid++ {
+		cases = append(cases, mergeCase(rid, rid%5))
+	}
+	seq := NewBuilder(m, opts)
+	for _, c := range cases {
+		seq.Add(c)
+	}
+	want := seq.Finalize()
+
+	for shards := 1; shards <= 6; shards++ {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			builders := make([]*Builder, shards)
+			for i := range builders {
+				builders[i] = NewBuilder(m, opts)
+			}
+			// Round-robin blocks of 3 cases, like the sharded fold engine.
+			for i, c := range cases {
+				builders[(i/3)%shards].Add(c)
+			}
+			logs := make([]*Log, shards)
+			for i, b := range builders {
+				logs[i] = b.Finalize()
+			}
+			got := MergeLogs(logs...)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("merged log differs from sequential fold:\ngot  %s\nwant %s", got, want)
+			}
+			// The case lists must be the exact CaseID interleave, not
+			// just the same multiset.
+			for i, v := range got.Variants() {
+				if !reflect.DeepEqual(v.Cases, want.Variants()[i].Cases) {
+					t.Errorf("variant %d case list = %v, want %v", i, v.Cases, want.Variants()[i].Cases)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeLeavesInputUsable: Merge copies, so mutating the merged
+// output must not reach back into the inputs (UnionLogs promises its
+// arguments stay valid).
+func TestMergeLeavesInputUsable(t *testing.T) {
+	m := CallTopDirs{Depth: 2}
+	b := NewBuilder(m, BuildOptions{})
+	b.Add(mergeCase(1, 0))
+	in := b.Finalize()
+	out := MergeLogs(in, in)
+	out.Variants()[0].Cases[0] = trace.CaseID{CID: "mutated"}
+	if in.Variants()[0].Cases[0].CID != "m" {
+		t.Errorf("merge aliased the input's case list: %v", in.Variants()[0].Cases)
+	}
+	if in.NumTraces() != 1 || out.NumTraces() != 2 {
+		t.Errorf("traces = %d/%d, want 1/2", in.NumTraces(), out.NumTraces())
+	}
+}
+
+// TestMergeLogsEmpty: merging nothing, nils, or empty logs yields an
+// empty, usable log (the identity of the merge monoid).
+func TestMergeLogsEmpty(t *testing.T) {
+	empty := MergeLogs()
+	if empty.NumTraces() != 0 || empty.NumVariants() != 0 {
+		t.Errorf("MergeLogs() = %d traces, %d variants", empty.NumTraces(), empty.NumVariants())
+	}
+	b := NewBuilder(CallTopDirs{Depth: 2}, BuildOptions{})
+	b.Add(mergeCase(1, 1))
+	l := b.Finalize()
+	got := MergeLogs(nil, empty, l)
+	if got.NumTraces() != 1 || got.MappedEvents() != l.MappedEvents() {
+		t.Errorf("identity law violated: %s", got)
+	}
+}
+
+// TestUnionLogsVariantOrdering pins the deterministic variant order of a
+// union: lexicographic by trace key, whatever order the inputs present
+// their variants in — the regression guard for the reimplementation of
+// UnionLogs on the merge primitive.
+func TestUnionLogsVariantOrdering(t *testing.T) {
+	m := CallTopDirs{Depth: 2}
+	build := func(rids ...int) *Log {
+		b := NewBuilder(m, BuildOptions{})
+		for _, rid := range rids {
+			b.Add(mergeCase(rid, rid%3))
+		}
+		return b.Finalize()
+	}
+	// Log A sees kinds 1,2 (in that order of first appearance), log B
+	// sees kinds 2,0 — their union must come out in key order, not in
+	// either insertion order.
+	u := UnionLogs(build(1, 2), build(5, 3))
+	var got []string
+	for _, v := range u.Variants() {
+		got = append(got, v.Seq.String())
+	}
+	want := []string{
+		"⟨read:/usr/lib⟩",
+		"⟨read:/usr/lib, write:/dev/pts⟩",
+		"⟨read:/usr/lib, write:/dev/pts, write:/dev/pts⟩",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("union variant order = %v, want %v", got, want)
+	}
+	keys := u.Variants()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1].Seq.Key() >= keys[i].Seq.Key() {
+			t.Errorf("variants not in key order at %d: %q >= %q", i, keys[i-1].Seq.Key(), keys[i].Seq.Key())
+		}
+	}
+	// Argument order must not matter for the variant sequence either.
+	rev := UnionLogs(build(5, 3), build(1, 2))
+	var gotRev []string
+	for _, v := range rev.Variants() {
+		gotRev = append(gotRev, v.Seq.String())
+	}
+	if !reflect.DeepEqual(gotRev, want) {
+		t.Errorf("reversed union variant order = %v, want %v", gotRev, want)
+	}
+}
+
+// TestUnionLogsPadsShortCaseLists: hand-built variants with fewer
+// recorded cases than their multiplicity keep summing multiplicities
+// and pad the case list with zero CaseIDs, as the pre-merge UnionLogs
+// did.
+func TestUnionLogsPadsShortCaseLists(t *testing.T) {
+	mk := func() *Log {
+		l := &Log{byKey: make(map[string]*Variant)}
+		l.add(Trace{"read:/usr/lib"}, trace.CaseID{CID: "x", Host: "h", RID: 1})
+		v := l.variants[0]
+		v.Mult = 3 // two counts without recorded cases
+		return l
+	}
+	u := UnionLogs(mk(), mk())
+	if u.NumTraces() != 6 {
+		t.Fatalf("traces = %d, want 6", u.NumTraces())
+	}
+	v := u.Variants()[0]
+	if len(v.Cases) != 6 {
+		t.Fatalf("case list = %v, want length 6", v.Cases)
+	}
+	real := 0
+	for _, id := range v.Cases {
+		if id != (trace.CaseID{}) {
+			real++
+		}
+	}
+	if real != 2 {
+		t.Errorf("real case ids = %d, want 2 (%v)", real, v.Cases)
+	}
+}

@@ -6,6 +6,7 @@ package stats
 
 import (
 	"container/heap"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -33,7 +34,10 @@ type ActivityStats struct {
 	Bytes    int64
 	HasBytes bool
 	// ProcRate is d̄r_f(a, C) of Equation (13): the arithmetic mean
-	// over events of size/duration, in bytes per second.
+	// over events of size/duration, in bytes per second. Per-event
+	// rates are accumulated as exact integers (⌊size·10⁹/dur_ns⌋, a
+	// 128-bit sum) with the division deferred to Finalize, so the
+	// value never depends on fold order or shard count.
 	ProcRate float64
 	// MaxConc is mc_f(a, C) of Equation (16): the maximum number of
 	// concurrent events of the activity.
@@ -92,22 +96,64 @@ func Compute(el *trace.EventLog, m pm.Mapping) *Stats {
 	return c.Finalize()
 }
 
+// rateSum is an exact 128-bit accumulator for per-event data rates in
+// bytes per second. Integer addition is associative and commutative, so
+// partial sums merge without the last-bit drift a floating-point fold
+// would pick up from re-association — the property that keeps shard
+// count unobservable in the artifacts.
+type rateSum struct{ hi, lo uint64 }
+
+// add folds another sum (or one event's 128-bit rate quotient) in.
+func (s *rateSum) add(o rateSum) {
+	var carry uint64
+	s.lo, carry = bits.Add64(s.lo, o.lo, 0)
+	s.hi = s.hi + o.hi + carry
+}
+
+// float64 converts the exact sum for the Finalize division. The double
+// rounding is deterministic: it is a pure function of (hi, lo).
+func (s rateSum) float64() float64 {
+	return float64(s.hi)*0x1p64 + float64(s.lo)
+}
+
+// eventRate returns ⌊size·10⁹/dur_ns⌋ — the event's data rate of
+// Equation (11) in integer bytes per second — as a 128-bit value, so
+// even a multi-GB transfer over a 1ns duration cannot overflow.
+func eventRate(size int64, dur time.Duration) rateSum {
+	hi, lo := bits.Mul64(uint64(size), 1e9)
+	d := uint64(dur)
+	qhi := hi / d
+	qlo, _ := bits.Div64(hi%d, lo, d)
+	return rateSum{hi: qhi, lo: qlo}
+}
+
 // accum carries the per-activity running state that only resolves at
 // Finalize: the mean data rate (Equation 13 needs the event count) and
 // the interval set behind the max-concurrency sweep (Equation 16 needs
 // every interval; this is the one statistic whose working set grows
 // with the activity's events rather than the batch).
 type accum struct {
-	rateSum   float64
-	rateCount int
+	rate      rateSum
+	rateCount int64
 	intervals []trace.Interval
+}
+
+// merge folds another partial accumulation in. Both operations are
+// exact and order-insensitive: the rate sum is integer addition, and
+// the interval list is only ever consumed through the sorting
+// MaxConcurrency sweep.
+func (a *accum) merge(o *accum) {
+	a.rate.add(o.rate)
+	a.rateCount += o.rateCount
+	a.intervals = append(a.intervals, o.intervals...)
 }
 
 // Computer accumulates the Section IV-B statistics one case at a time —
 // the incremental form of Compute that the streaming pipeline feeds.
-// Feeding cases in CaseID order reproduces Compute bit for bit,
-// including the floating-point data-rate sums, which fold in the same
-// order.
+// All running state is integral (counts, durations, byte totals, the
+// 128-bit rate sum), so any partition of the cases over partial
+// computers followed by Merge reproduces the sequential fold exactly;
+// the only divisions happen in Finalize.
 type Computer struct {
 	m   pm.Mapping
 	s   *Stats
@@ -144,13 +190,64 @@ func (c *Computer) Add(cs *trace.Case) {
 			st.Bytes += e.Size
 			st.HasBytes = true
 			if e.Dur > 0 {
-				// dr(e) = e[size] / e[dur], Equation (11).
-				ac.rateSum += float64(e.Size) / e.Dur.Seconds()
+				// dr(e) = e[size] / e[dur], Equation (11), kept as an
+				// exact integer so partials merge bit-for-bit.
+				ac.rate.add(eventRate(e.Size, e.Dur))
 				ac.rateCount++
 			}
 		}
 		ac.intervals = append(ac.intervals, e.Interval())
 	}
+}
+
+// Merge folds another computer's partial state into c, exactly: counts,
+// durations and byte totals are integer sums, the data-rate numerators
+// are 128-bit integer sums, and the interval sets concatenate (their
+// order is irrelevant — Finalize's sweep sorts them totally). Merging
+// shard partials in any order reproduces the sequential fold
+// bit-for-bit. Both computers must have been built for the same
+// mapping; o must not be used afterwards. A nil o is a no-op, matching
+// pm.MergeLogs and dfg.Merge.
+func (c *Computer) Merge(o *Computer) {
+	if o == nil {
+		return
+	}
+	c.s.TotalDur += o.s.TotalDur
+	for a, ost := range o.s.byActivity {
+		st := c.s.byActivity[a]
+		if st == nil {
+			c.s.byActivity[a] = ost
+			c.acc[a] = o.acc[a]
+			continue
+		}
+		st.Events += ost.Events
+		st.TotalDur += ost.TotalDur
+		st.Bytes += ost.Bytes
+		st.HasBytes = st.HasBytes || ost.HasBytes
+		c.acc[a].merge(o.acc[a])
+	}
+}
+
+// Merge merges partial computers (shard partials of one logical
+// computation) and finalizes the result. With a single partial it is
+// equivalent to Finalize; nil partials are skipped; with none it
+// returns empty statistics.
+func Merge(parts ...*Computer) *Stats {
+	var c *Computer
+	for _, o := range parts {
+		if o == nil {
+			continue
+		}
+		if c == nil {
+			c = o
+			continue
+		}
+		c.Merge(o)
+	}
+	if c == nil {
+		return &Stats{byActivity: make(map[pm.Activity]*ActivityStats)}
+	}
+	return c.Finalize()
 }
 
 // Finalize runs the per-activity aggregation (mean rate, max-concurrency
@@ -160,7 +257,7 @@ func (c *Computer) Finalize() *Stats {
 	for a, st := range c.s.byActivity {
 		ac := c.acc[a]
 		if ac.rateCount > 0 {
-			st.ProcRate = ac.rateSum / float64(ac.rateCount)
+			st.ProcRate = ac.rate.float64() / float64(ac.rateCount)
 		}
 		st.MaxConc = MaxConcurrency(ac.intervals)
 		if c.s.TotalDur > 0 {
@@ -176,12 +273,20 @@ func (c *Computer) Finalize() *Stats {
 // interval must strictly overlap (end > start) to count as concurrent,
 // matching the paper's "end time of the first event is greater than the
 // start time of the last event". O(k log k).
+//
+// The sort uses the total interval order (start, then end, then case),
+// so the result is a pure function of the interval multiset: equal-start
+// ties — where a zero-duration interval processed after a longer
+// same-start one would otherwise inflate the count — always resolve the
+// same way, whatever order the intervals were collected in. This is
+// what lets sharded statistics concatenate interval sets in shard order
+// and still reproduce the sequential sweep exactly.
 func MaxConcurrency(intervals []trace.Interval) int {
 	if len(intervals) == 0 {
 		return 0
 	}
 	ivs := append([]trace.Interval(nil), intervals...)
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Less(ivs[j]) })
 	var ends endHeap
 	maxOpen := 0
 	for _, iv := range ivs {

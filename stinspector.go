@@ -283,8 +283,21 @@ func FilterStreamCases(s Source, keep func(*Case) bool) Source {
 // returns the activity-log, DFG and statistics — identical to the
 // in-memory pipeline's artifacts. joinErrors selects collect-all
 // (Strict) versus fail-fast error semantics. The source is not closed.
+// It is the one-shard case of AnalyzeStreamParallel.
 func AnalyzeStream(src Source, m Mapping, joinErrors bool) (*StreamResult, error) {
 	return core.AnalyzeStream(src, m, joinErrors)
+}
+
+// AnalyzeStreamParallel is AnalyzeStream with the analysis fold itself
+// sharded over concurrent workers (round-robin case blocks, one builder
+// set per shard, shard partials merged exactly afterwards): the
+// artifacts are byte-identical to the sequential pass at every shard
+// count, so shards is purely a throughput knob. 0 means GOMAXPROCS, 1
+// is the sequential fold. Combine with the Stream* constructors'
+// parallelism/window knobs to scale ingestion and analysis
+// independently (stinspect exposes this as -j/-window/-ashards).
+func AnalyzeStreamParallel(src Source, m Mapping, shards int, joinErrors bool) (*StreamResult, error) {
+	return core.AnalyzeStreamParallel(src, m, shards, joinErrors)
 }
 
 // LoadStream materializes a source into an Inspector — the in-memory

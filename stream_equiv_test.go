@@ -2,9 +2,11 @@ package stinspector
 
 // Streaming/in-memory equivalence properties: for synth-generated trace
 // directories, STA archives and DXT dumps, the streaming pipeline's
-// DFG, footprint matrix and all four Section IV-B statistics must be
-// byte-identical to the in-memory pipeline at parallelism 1, 4 and
-// GOMAXPROCS — the acceptance bar of the streaming refactor. The
+// activity-log (variants, multiplicities and case lists), DFG,
+// footprint matrix and all four Section IV-B statistics must be
+// byte-identical to the in-memory pipeline at ingestion parallelism 1,
+// 4 and GOMAXPROCS × analysis shards 1, 4 and GOMAXPROCS — the
+// acceptance bar of the streaming and sharded-analysis refactors. The
 // comparison serializes every float with strconv at full precision, so
 // even a last-bit divergence (a re-ordered floating-point fold, say)
 // fails.
@@ -35,11 +37,17 @@ func equivParallelisms() []int {
 	return ps
 }
 
-// artifacts serializes the full synthesis output — DFG listing,
-// footprint matrix, and the four per-activity statistics at full float
-// precision — into one comparable string.
-func artifacts(g *DFG, st *Stats) string {
+// artifacts serializes the full synthesis output — activity-log with
+// per-variant case lists, DFG listing, footprint matrix, and the four
+// per-activity statistics at full float precision — into one comparable
+// string.
+func artifacts(l *ActivityLog, g *DFG, st *Stats) string {
 	var b strings.Builder
+	fmt.Fprintf(&b, "log traces=%d variants=%d mapped=%d unmapped=%d\n",
+		l.NumTraces(), l.NumVariants(), l.MappedEvents(), l.UnmappedEvents())
+	for _, v := range l.Variants() {
+		fmt.Fprintf(&b, "  %d× %s %v\n", v.Mult, v.Seq, v.Cases)
+	}
 	b.WriteString(RenderText(g, st, nil))
 	b.WriteString(NewFootprint(g).String())
 	for _, a := range st.Activities() {
@@ -57,30 +65,34 @@ func artifacts(g *DFG, st *Stats) string {
 // inMemoryArtifacts runs the materialized pipeline over an event-log.
 func inMemoryArtifacts(el *EventLog) string {
 	in := FromEventLog(el)
-	return artifacts(in.DFG(), in.Stats())
+	return artifacts(in.ActivityLog(), in.DFG(), in.Stats())
 }
 
-// streamArtifacts runs the bounded-memory pipeline over a source.
-func streamArtifacts(t *testing.T, src Source, joinErrors bool) string {
+// streamArtifacts runs the bounded-memory pipeline over a source with
+// the analysis fold sharded shards ways.
+func streamArtifacts(t *testing.T, src Source, shards int, joinErrors bool) string {
 	t.Helper()
 	defer src.Close()
-	res, err := AnalyzeStream(src, CallTopDirs{Depth: 2}, joinErrors)
+	res, err := AnalyzeStreamParallel(src, CallTopDirs{Depth: 2}, shards, joinErrors)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return artifacts(res.DFG, res.Stats)
+	return artifacts(res.ActivityLog, res.DFG, res.Stats)
 }
 
 // equivCheck compares the streaming artifacts against the in-memory
-// baseline for every parallelism/window combination.
+// baseline for every ingestion-parallelism/window/analysis-shard
+// combination.
 func equivCheck(t *testing.T, kind, want string, open func(parallelism, window int) Source) {
 	t.Helper()
 	for _, p := range equivParallelisms() {
 		for _, w := range []int{0, 1, 3} {
-			got := streamArtifacts(t, open(p, w), true)
-			if got != want {
-				t.Errorf("%s: streaming artifacts differ from in-memory at parallelism=%d window=%d.\n--- streaming ---\n%s\n--- in-memory ---\n%s",
-					kind, p, w, got, want)
+			for _, shards := range equivParallelisms() {
+				got := streamArtifacts(t, open(p, w), shards, true)
+				if got != want {
+					t.Errorf("%s: streaming artifacts differ from in-memory at parallelism=%d window=%d ashards=%d.\n--- streaming ---\n%s\n--- in-memory ---\n%s",
+						kind, p, w, shards, got, want)
+				}
 			}
 		}
 	}
@@ -155,10 +167,10 @@ func TestStreamEquivalenceFiltered(t *testing.T) {
 	log := synth.Log("eqf", 17, 140, 5)
 	keep := func(e trace.Event) bool { return strings.Contains(e.FP, "part0") }
 	want := inMemoryArtifacts(log.Filter(keep))
-	for _, p := range equivParallelisms() {
-		got := streamArtifacts(t, source.Filter(source.FromLog(log), keep), false)
+	for _, shards := range equivParallelisms() {
+		got := streamArtifacts(t, source.Filter(source.FromLog(log), keep), shards, false)
 		if got != want {
-			t.Errorf("filtered stream differs from in-memory at parallelism=%d", p)
+			t.Errorf("filtered stream differs from in-memory at ashards=%d", shards)
 		}
 	}
 }
