@@ -21,9 +21,16 @@
 // regressions are distinguishable:
 //
 //	stbench -ingest 200 -events 2000 -j 8 -window 16 -ashards 8
+//
+// With -json PATH the ingest mode additionally writes the measured
+// table as machine-readable JSON (one object per stage: stage,
+// wall_ns, mb_per_s, events_per_s, allocs_per_event), so the
+// performance trajectory is trackable across commits; CI uploads the
+// file as the BENCH_ingest.json artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -62,12 +69,16 @@ func run(args []string) error {
 	jobs := fs.Int("j", 0, "parallel ingestion workers (-ingest mode; 0 = GOMAXPROCS)")
 	window := fs.Int("window", 0, "streaming pass: max cases resident (-ingest mode; 0 = 2x workers)")
 	ashards := fs.Int("ashards", 0, "analysis fold shards (-ingest mode; 0 = GOMAXPROCS)")
+	jsonPath := fs.String("json", "", "write the -ingest throughput table as JSON to this path (e.g. BENCH_ingest.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *ingest > 0 {
-		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed)
+		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath)
+	}
+	if *jsonPath != "" {
+		return fmt.Errorf("-json requires -ingest mode")
 	}
 
 	scale := experiments.Scale{
@@ -109,12 +120,37 @@ func run(args []string) error {
 	return nil
 }
 
+// benchStage is one row of the machine-readable throughput table
+// (-json): a pipeline stage with its wall time, data and event
+// throughput, and allocation cost per event.
+type benchStage struct {
+	Stage          string  `json:"stage"`
+	WallNS         int64   `json:"wall_ns"`
+	MBPerS         float64 `json:"mb_per_s"`
+	EventsPerS     float64 `json:"events_per_s"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+// measured times f and reports the global allocation delta around it
+// (runtime.MemStats.Mallocs covers all goroutines, so the parallel
+// stages are accounted fully).
+func measured(f func() error) (time.Duration, uint64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	err := f()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return wall, m1.Mallocs - m0.Mallocs, err
+}
+
 // ingestBench synthesizes a trace directory of nFiles per-rank files,
 // times sequential ReadDir, parallel ReadDir, and the streaming pass
 // (the ingest section), then times the analysis fold over the already
 // materialized log at one shard versus ashards shards (the analysis
 // section) — so a regression report names the stage that slowed down.
-func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64) error {
+// jsonPath, when non-empty, receives the table as JSON.
+func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -149,61 +185,92 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64) error {
 	fmt.Printf("synthetic trace directory: %d files, %d events, %.1f MB\n",
 		nFiles, log.NumEvents(), float64(bytes)/1e6)
 
-	run := func(parallelism int) (time.Duration, error) {
-		start := time.Now()
-		got, err := strace.ReadDir(dir, strace.Options{Strict: true, Parallelism: parallelism})
-		if err != nil {
-			return 0, err
+	nEvents := log.NumEvents()
+	// readsTraceBytes: the ingest stages consume the trace files, so
+	// MB/s is meaningful; the analysis stages fold an
+	// already-materialized log and report 0 rather than a fabricated
+	// byte throughput.
+	stage := func(name string, wall time.Duration, allocs uint64, readsTraceBytes bool) benchStage {
+		s := benchStage{
+			Stage:          name,
+			WallNS:         wall.Nanoseconds(),
+			EventsPerS:     float64(nEvents) / wall.Seconds(),
+			AllocsPerEvent: float64(allocs) / float64(nEvents),
 		}
-		if got.NumEvents() != log.NumEvents() {
-			return 0, fmt.Errorf("ingest dropped events: got %d, want %d", got.NumEvents(), log.NumEvents())
+		if readsTraceBytes {
+			s.MBPerS = float64(bytes) / 1e6 / wall.Seconds()
 		}
-		return time.Since(start), nil
+		return s
+	}
+	var stages []benchStage
+
+	run := func(parallelism int) (time.Duration, uint64, error) {
+		return measured(func() error {
+			got, err := strace.ReadDir(dir, strace.Options{Strict: true, Parallelism: parallelism})
+			if err != nil {
+				return err
+			}
+			if got.NumEvents() != nEvents {
+				return fmt.Errorf("ingest dropped events: got %d, want %d", got.NumEvents(), nEvents)
+			}
+			return nil
+		})
 	}
 
 	// The streaming pass consumes cases as they arrive and drops them —
 	// peak memory is the resident window, not the trace set.
-	runStream := func() (time.Duration, int, error) {
-		start := time.Now()
-		src, err := strace.StreamDir(dir, strace.Options{Strict: true, Parallelism: jobs, Window: window})
-		if err != nil {
-			return 0, 0, err
-		}
-		defer src.Close()
-		events := 0
-		err = source.Walk(src, true, func(c *trace.Case) error {
-			events += c.Len()
+	runStream := func() (time.Duration, uint64, int, error) {
+		peak := 0
+		wall, allocs, err := measured(func() error {
+			src, err := strace.StreamDir(dir, strace.Options{Strict: true, Parallelism: jobs, Window: window})
+			if err != nil {
+				return err
+			}
+			defer src.Close()
+			events := 0
+			err = source.Walk(src, true, func(c *trace.Case) error {
+				events += c.Len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if events != nEvents {
+				return fmt.Errorf("streaming ingest dropped events: got %d, want %d", events, nEvents)
+			}
+			peak = source.PeakResident(src)
 			return nil
 		})
-		if err != nil {
-			return 0, 0, err
-		}
-		if events != log.NumEvents() {
-			return 0, 0, fmt.Errorf("streaming ingest dropped events: got %d, want %d", events, log.NumEvents())
-		}
-		return time.Since(start), source.PeakResident(src), nil
+		return wall, allocs, peak, err
 	}
 
-	// Warm the page cache so all timings measure parsing, not disk.
-	if _, err := run(jobs); err != nil {
+	// Warm the page cache (and the symbol table) so all timings measure
+	// parsing, not disk or first-sight interning.
+	if _, _, err := run(jobs); err != nil {
 		return err
 	}
-	seq, err := run(1)
+	seq, seqAllocs, err := run(1)
 	if err != nil {
 		return err
 	}
-	par, err := run(jobs)
+	par, parAllocs, err := run(jobs)
 	if err != nil {
 		return err
 	}
-	str, peak, err := runStream()
+	str, strAllocs, peak, err := runStream()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-32s %12s %14s\n", "INGEST", "WALL", "THROUGHPUT")
-	fmt.Printf("%-32s %12v %11.1f MB/s\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds())
-	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds())
-	fmt.Printf("%-32s %12v %11.1f MB/s\n", fmt.Sprintf("streaming (j=%d, window=%d)", jobs, window), str.Round(time.Millisecond), float64(bytes)/1e6/str.Seconds())
+	stages = append(stages,
+		stage("ingest_sequential", seq, seqAllocs, true),
+		stage(fmt.Sprintf("ingest_parallel_j%d", jobs), par, parAllocs, true),
+		stage(fmt.Sprintf("ingest_streaming_j%d_w%d", jobs, window), str, strAllocs, true),
+	)
+	aev := func(allocs uint64) float64 { return float64(allocs) / float64(nEvents) }
+	fmt.Printf("%-32s %12s %14s %14s\n", "INGEST", "WALL", "THROUGHPUT", "ALLOCS/EVENT")
+	fmt.Printf("%-32s %12v %11.1f MB/s %14.3f\n", "sequential (Parallelism: 1)", seq.Round(time.Millisecond), float64(bytes)/1e6/seq.Seconds(), aev(seqAllocs))
+	fmt.Printf("%-32s %12v %11.1f MB/s %14.3f\n", fmt.Sprintf("parallel (Parallelism: %d)", jobs), par.Round(time.Millisecond), float64(bytes)/1e6/par.Seconds(), aev(parAllocs))
+	fmt.Printf("%-32s %12v %11.1f MB/s %14.3f\n", fmt.Sprintf("streaming (j=%d, window=%d)", jobs, window), str.Round(time.Millisecond), float64(bytes)/1e6/str.Seconds(), aev(strAllocs))
 	fmt.Printf("ingest speedup: %.2fx\n", seq.Seconds()/par.Seconds())
 	fmt.Printf("peak cases resident (streaming): %d of %d files\n", peak, nFiles)
 
@@ -212,27 +279,31 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64) error {
 	// + DFG + statistics) from parsing. The sharded fold must reproduce
 	// the sequential artifacts byte-identically; counts are checked here
 	// as a cheap smoke of that law.
-	runAnalysis := func(shards int) (time.Duration, *core.StreamResult, error) {
-		src := source.FromLog(log)
-		defer src.Close()
-		start := time.Now()
-		res, err := core.AnalyzeStreamParallel(src, pm.CallTopDirs{Depth: 2}, shards, true)
-		if err != nil {
-			return 0, nil, err
-		}
-		if res.Events != log.NumEvents() {
-			return 0, nil, fmt.Errorf("analysis dropped events at shards=%d: got %d, want %d", shards, res.Events, log.NumEvents())
-		}
-		return time.Since(start), res, nil
+	runAnalysis := func(shards int) (time.Duration, uint64, *core.StreamResult, error) {
+		var res *core.StreamResult
+		wall, allocs, err := measured(func() error {
+			src := source.FromLog(log)
+			defer src.Close()
+			var err error
+			res, err = core.AnalyzeStreamParallel(src, pm.CallTopDirs{Depth: 2}, shards, true)
+			if err != nil {
+				return err
+			}
+			if res.Events != nEvents {
+				return fmt.Errorf("analysis dropped events at shards=%d: got %d, want %d", shards, res.Events, nEvents)
+			}
+			return nil
+		})
+		return wall, allocs, res, err
 	}
-	if _, _, err := runAnalysis(ashards); err != nil { // warm
+	if _, _, _, err := runAnalysis(ashards); err != nil { // warm
 		return err
 	}
-	aseq, seqRes, err := runAnalysis(1)
+	aseq, aseqAllocs, seqRes, err := runAnalysis(1)
 	if err != nil {
 		return err
 	}
-	apar, parRes, err := runAnalysis(ashards)
+	apar, aparAllocs, parRes, err := runAnalysis(ashards)
 	if err != nil {
 		return err
 	}
@@ -242,10 +313,25 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64) error {
 			seqRes.ActivityLog.NumVariants(), parRes.ActivityLog.NumVariants(),
 			seqRes.DFG.NumEdges(), parRes.DFG.NumEdges())
 	}
-	mevs := func(d time.Duration) float64 { return float64(log.NumEvents()) / 1e6 / d.Seconds() }
-	fmt.Printf("\n%-32s %12s %14s\n", "ANALYSIS", "WALL", "THROUGHPUT")
-	fmt.Printf("%-32s %12v %8.2f Mevents/s\n", "sequential fold (shards=1)", aseq.Round(time.Millisecond), mevs(aseq))
-	fmt.Printf("%-32s %12v %8.2f Mevents/s\n", fmt.Sprintf("sharded fold (shards=%d)", ashards), apar.Round(time.Millisecond), mevs(apar))
+	stages = append(stages,
+		stage("analysis_sequential", aseq, aseqAllocs, false),
+		stage(fmt.Sprintf("analysis_sharded_s%d", ashards), apar, aparAllocs, false),
+	)
+	mevs := func(d time.Duration) float64 { return float64(nEvents) / 1e6 / d.Seconds() }
+	fmt.Printf("\n%-32s %12s %14s %14s\n", "ANALYSIS", "WALL", "THROUGHPUT", "ALLOCS/EVENT")
+	fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n", "sequential fold (shards=1)", aseq.Round(time.Millisecond), mevs(aseq), aev(aseqAllocs))
+	fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n", fmt.Sprintf("sharded fold (shards=%d)", ashards), apar.Round(time.Millisecond), mevs(apar), aev(aparAllocs))
 	fmt.Printf("analysis speedup: %.2fx\n", aseq.Seconds()/apar.Seconds())
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(stages, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d stages)\n", jsonPath, len(stages))
+	}
 	return nil
 }

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 // The ls-scale figures run in microseconds; exercise the real dispatch.
 func TestRunSingleFigure(t *testing.T) {
@@ -35,5 +41,59 @@ func TestRunIngestBench(t *testing.T) {
 	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-window", "4", "-ashards", "3"})
 	if err != nil {
 		t.Errorf("run(-ingest): %v", err)
+	}
+}
+
+// TestRunIngestBenchJSON: -json writes the machine-readable stage
+// table with the documented schema.
+func TestRunIngestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-ashards", "2", "-json", path})
+	if err != nil {
+		t.Fatalf("run(-ingest -json): %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	var stages []benchStage
+	if err := json.Unmarshal(b, &stages); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(stages) != 5 {
+		t.Fatalf("got %d stages, want 5", len(stages))
+	}
+	names := map[string]bool{}
+	for _, s := range stages {
+		names[s.Stage] = true
+		if s.WallNS <= 0 || s.EventsPerS <= 0 {
+			t.Errorf("stage %s has non-positive metrics: %+v", s.Stage, s)
+		}
+		if s.AllocsPerEvent < 0 {
+			t.Errorf("stage %s has negative allocs_per_event", s.Stage)
+		}
+		// MB/s is meaningful only for stages that read the trace
+		// bytes; analysis folds report 0 rather than a fabricated
+		// throughput.
+		isIngest := strings.HasPrefix(s.Stage, "ingest_")
+		if isIngest && s.MBPerS <= 0 {
+			t.Errorf("ingest stage %s has non-positive mb_per_s", s.Stage)
+		}
+		if !isIngest && s.MBPerS != 0 {
+			t.Errorf("analysis stage %s reports mb_per_s %v, want 0", s.Stage, s.MBPerS)
+		}
+	}
+	for _, want := range []string{"ingest_sequential", "ingest_parallel_j2", "analysis_sequential", "analysis_sharded_s2"} {
+		if !names[want] {
+			t.Errorf("missing stage %q in %v", want, names)
+		}
+	}
+}
+
+// TestRunJSONRequiresIngest: -json outside -ingest mode is a usage
+// error.
+func TestRunJSONRequiresIngest(t *testing.T) {
+	if err := run([]string{"-fig", "fig2a", "-json", "x.json"}); err == nil {
+		t.Error("run(-fig -json) succeeded, want usage error")
 	}
 }

@@ -113,14 +113,22 @@ func (c *cursor) u64() (uint64, error) {
 }
 
 func (c *cursor) str() (string, error) {
+	b, err := c.strBytes()
+	return string(b), err
+}
+
+// strBytes reads a length-prefixed string as a subslice of the section
+// buffer, letting decodeCase canonicalize through the symbol cache
+// without an intermediate allocation.
+func (c *cursor) strBytes() ([]byte, error) {
 	n, err := c.uvarint()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if n > uint64(c.remaining()) {
-		return "", corrupt("string of %d bytes exceeds section at offset %d", n, c.off)
+		return nil, corrupt("string of %d bytes exceeds section at offset %d", n, c.off)
 	}
-	s := string(c.b[c.off : c.off+int(n)])
+	b := c.b[c.off : c.off+int(n)]
 	c.off += int(n)
-	return s, nil
+	return b, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
@@ -232,8 +233,14 @@ func StreamLog(path string, parallelism, window int) (source.Source, error) {
 	return source.WithCloser(r.Stream(parallelism, window), r), nil
 }
 
-// decodeCase parses and verifies one case section.
+// decodeCase parses and verifies one case section. The per-case string
+// dictionary (call names, file paths) and the case identity are
+// canonicalized through the process-wide symbol table, so decoding N
+// cases that share a path vocabulary retains one string per distinct
+// value instead of one per case.
 func decodeCase(section []byte, want trace.CaseID) (*trace.Case, error) {
+	cache := intern.GetCache()
+	defer intern.PutCache(cache)
 	c := &cursor{b: section}
 	bodyLen, err := c.uvarint()
 	if err != nil {
@@ -254,12 +261,16 @@ func decodeCase(section []byte, want trace.CaseID) (*trace.Case, error) {
 
 	bc := &cursor{b: body}
 	var id trace.CaseID
-	if id.CID, err = bc.str(); err != nil {
+	cidB, err := bc.strBytes()
+	if err != nil {
 		return nil, err
 	}
-	if id.Host, err = bc.str(); err != nil {
+	id.CID = cache.CanonBytes(cidB)
+	hostB, err := bc.strBytes()
+	if err != nil {
 		return nil, err
 	}
+	id.Host = cache.CanonBytes(hostB)
 	rid, err := bc.varint()
 	if err != nil {
 		return nil, err
@@ -279,9 +290,11 @@ func decodeCase(section []byte, want trace.CaseID) (*trace.Case, error) {
 	}
 	dict := make([]string, nd)
 	for i := range dict {
-		if dict[i], err = bc.str(); err != nil {
+		b, err := bc.strBytes()
+		if err != nil {
 			return nil, err
 		}
+		dict[i] = cache.CanonBytes(b)
 	}
 	lookup := func(i uint64) (string, error) {
 		if i >= uint64(len(dict)) {

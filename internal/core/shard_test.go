@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stinspector/internal/pm"
+	"stinspector/internal/race"
 	"stinspector/internal/render"
 	"stinspector/internal/source"
 	"stinspector/internal/stats"
@@ -152,12 +153,67 @@ func TestAnalyzeParallelSpeedup(t *testing.T) {
 		return best
 	}
 	run(0) // warm up
+	checkAnalyzeAllocBudget(t, el, m)
 	seq := run(1)
 	par := run(0)
 	speedup := seq.Seconds() / par.Seconds()
 	t.Logf("sequential fold %v, sharded fold %v (%d cores): %.2fx", seq, par, runtime.NumCPU(), speedup)
 	if speedup < 2 {
 		t.Errorf("sharded analysis speedup %.2fx, want >= 2x on %d cores", speedup, runtime.NumCPU())
+	}
+}
+
+// TestAnalyzeAllocBudget runs the allocation gate standalone, so
+// single-core machines (where the speedup harness skips) still enforce
+// it, over a smaller log to stay cheap.
+func TestAnalyzeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	el := synth.Log("allocb", 48, 2000, 11)
+	m := pm.CallTopDirs{Depth: 2}
+	// Warm: table growth, pool population.
+	src := source.FromLog(el)
+	if _, err := AnalyzeStreamParallel(src, m, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	checkAnalyzeAllocBudget(t, el, m)
+}
+
+// checkAnalyzeAllocBudget is the analysis-side allocation-regression
+// gate of the symbol-interning refactor, run inside the speedup
+// harness so both sit over the same 240k-event log: the sequential
+// fold must stay under a fixed allocations-per-event ceiling. The
+// string-keyed builders sat near 2 allocs/event (MakeActivity concat,
+// variant keys, the interface-boxing max-concurrency heap); the
+// symbolized fold runs near 0.01. The ceiling of 0.25 keeps two
+// orders of magnitude of headroom over today's cost while catching any
+// per-event allocation sneaking back into the hot loop. Skipped under
+// -race (instrumented allocator).
+func checkAnalyzeAllocBudget(t *testing.T, el *trace.EventLog, m pm.Mapping) {
+	t.Helper()
+	if race.Enabled {
+		t.Log("allocation budget skipped under -race")
+		return
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	src := source.FromLog(el)
+	res, err := AnalyzeStreamParallel(src, m, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+	runtime.ReadMemStats(&m1)
+	if res.Events != el.NumEvents() {
+		t.Fatalf("lost events: got %d, want %d", res.Events, el.NumEvents())
+	}
+	perEvent := float64(m1.Mallocs-m0.Mallocs) / float64(el.NumEvents())
+	t.Logf("sequential analysis fold: %d allocs for %d events = %.4f allocs/event",
+		m1.Mallocs-m0.Mallocs, el.NumEvents(), perEvent)
+	if perEvent > 0.25 {
+		t.Errorf("analysis allocs/event = %.4f, budget 0.25 — the zero-alloc fold regressed", perEvent)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"stinspector/internal/dfg"
+	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/source"
 	"stinspector/internal/stats"
@@ -48,32 +49,61 @@ func AnalyzeStream(src source.Source, m pm.Mapping, joinErrors bool) (*StreamRes
 
 // shardPartial is one shard's builder set: the per-shard state of the
 // parallel fold, merged in shard order once the stream is exhausted.
+// The three builders share one pm.SymMapper — and therefore one
+// shard-local activity symbol table — so every event is mapped exactly
+// once and all per-event counting happens on integer keys; the
+// shard-local tables are remapped into shard 0's at merge.
 type shardPartial struct {
+	sm    *pm.SymMapper
 	pmB   *pm.Builder
 	dfgB  *dfg.Builder
 	stC   *stats.Computer
+	syms  []intern.Sym // per-case mapping scratch, reused
 	cases int
 	evs   int
+}
+
+func newShardPartial(m pm.Mapping) *shardPartial {
+	sm := pm.NewSymMapper(m)
+	return &shardPartial{
+		sm:   sm,
+		pmB:  pm.NewBuilderSym(sm, pm.BuildOptions{Endpoints: true}),
+		dfgB: dfg.NewBuilderSym(sm.Acts()),
+		stC:  stats.NewComputerSym(sm),
+	}
 }
 
 func (p *shardPartial) fold(c *trace.Case) error {
 	p.cases++
 	p.evs += len(c.Events)
-	if seq, ok := p.pmB.Add(c); ok {
-		p.dfgB.AddTrace(seq)
+	p.syms = p.sm.MapCase(c, p.syms[:0])
+	if seq, ok := p.pmB.AddMapped(c.ID, p.syms); ok {
+		p.dfgB.AddSymVariant(seq, 1)
 	}
-	p.stC.Add(c)
+	p.stC.AddMapped(c, p.syms)
 	return nil
+}
+
+// mergeInto folds p's symbolized partial state into dst, remapping p's
+// shard-local symbol table through dst's.
+func (p *shardPartial) mergeInto(dst *shardPartial) {
+	dst.pmB.MergeFrom(p.pmB)
+	dst.dfgB.MergeFrom(p.dfgB)
+	dst.stC.Merge(p.stC)
 }
 
 // AnalyzeStreamParallel is AnalyzeStream with the analysis fold itself
 // sharded: source.ShardedFold round-robins case blocks to shards
-// workers, each owning its own builder set, and the shard partials are
-// merged in shard order afterwards. Because every aggregate merge is
-// exact — integer counts and sums, sorted case-list interleaves, a
-// totally-ordered max-concurrency sweep — the result is byte-identical
-// to the sequential fold at every shard count; shard count is a pure
-// throughput knob, never observable in the artifacts.
+// workers, each owning its own builder set over a shard-local symbol
+// table, and the shard partials are merged in shard order afterwards —
+// the shard tables remapped through shard 0's, the counts folded as
+// integer sums. Because every aggregate merge is exact — integer
+// counts and sums, sorted case-list interleaves, a totally-ordered
+// max-concurrency sweep, and a symbol remap that preserves strings
+// exactly — the result is byte-identical to the sequential fold at
+// every shard count; shard count is a pure throughput knob, never
+// observable in the artifacts. Only the merged survivor materializes
+// activity strings, once, at Finalize.
 //
 // shards <= 0 means runtime.GOMAXPROCS(0); shards == 1 folds inline
 // with no worker goroutines. joinErrors as in AnalyzeStream. The
@@ -84,11 +114,7 @@ func AnalyzeStreamParallel(src source.Source, m pm.Mapping, shards int, joinErro
 	}
 	parts := make([]*shardPartial, shards)
 	for i := range parts {
-		parts[i] = &shardPartial{
-			pmB:  pm.NewBuilder(m, pm.BuildOptions{Endpoints: true}),
-			dfgB: dfg.NewBuilder(),
-			stC:  stats.NewComputer(m),
-		}
+		parts[i] = newShardPartial(m)
 	}
 	err := source.ShardedFold(src, shards, 0, joinErrors, func(shard int, c *trace.Case) error {
 		return parts[shard].fold(c)
@@ -101,23 +127,13 @@ func AnalyzeStreamParallel(src source.Source, m pm.Mapping, shards int, joinErro
 		res.Cases += p.cases
 		res.Events += p.evs
 	}
-	if shards == 1 {
-		res.ActivityLog = parts[0].pmB.Finalize()
-		res.DFG = parts[0].dfgB.Finalize()
-		res.Stats = parts[0].stC.Finalize()
-	} else {
-		logs := make([]*pm.Log, shards)
-		graphs := make([]*dfg.Graph, shards)
-		comps := make([]*stats.Computer, shards)
-		for i, p := range parts {
-			logs[i] = p.pmB.Finalize()
-			graphs[i] = p.dfgB.Finalize()
-			comps[i] = p.stC
-		}
-		res.ActivityLog = pm.MergeLogs(logs...)
-		res.DFG = dfg.Merge(graphs...)
-		res.Stats = stats.Merge(comps...)
+	first := parts[0]
+	for _, p := range parts[1:] {
+		p.mergeInto(first)
 	}
+	res.ActivityLog = first.pmB.Finalize()
+	res.DFG = first.dfgB.Finalize()
+	res.Stats = first.stC.Finalize()
 	res.PeakResident = source.PeakResident(src)
 	return res, nil
 }

@@ -52,37 +52,6 @@ func Build(l *pm.Log) *Graph {
 	return b.Finalize()
 }
 
-// Builder constructs a DFG incrementally, one activity trace at a time —
-// the streaming form of Build. Because the graph is pure occurrence
-// counting, folding the same traces in any order (per case as a stream
-// delivers them, or per variant as Build does) yields an identical
-// graph.
-type Builder struct {
-	g *Graph
-}
-
-// NewBuilder returns a builder over an empty graph.
-func NewBuilder() *Builder { return &Builder{g: New()} }
-
-// AddTrace folds one case's activity trace into the graph.
-func (b *Builder) AddTrace(seq pm.Trace) { b.AddVariant(seq, 1) }
-
-// AddVariant folds a trace with a multiplicity, the variant form.
-func (b *Builder) AddVariant(seq pm.Trace, mult int) {
-	g := b.g
-	g.traces += mult
-	for i, a := range seq {
-		g.nodes[a] += mult
-		if i > 0 {
-			g.edges[Edge{From: seq[i-1], To: a}] += mult
-		}
-	}
-}
-
-// Finalize returns the accumulated graph. The builder must not be used
-// afterwards.
-func (b *Builder) Finalize() *Graph { return b.g }
-
 // Merge folds another graph's occurrence counts into g. The graph is
 // pure counting, so the merge is exact and order-insensitive: merging
 // shard partials in any order equals building one graph from all the

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
@@ -62,6 +63,12 @@ func (e *ParseError) Error() string {
 // Parse reads a darshan-dxt-parser text stream into records. Header
 // comments set the current file/rank context; access lines inherit it.
 func Parse(r io.Reader) ([]Record, error) {
+	// Canonicalize the header strings (file names, hostnames) through
+	// the process-wide symbol table: every record of a group shares the
+	// interned string, and paths seen by other ingestion backends
+	// resolve to the same allocation.
+	cache := intern.GetCache()
+	defer intern.PutCache(cache)
 	var (
 		records  []Record
 		fileName string
@@ -81,10 +88,10 @@ func Parse(r io.Reader) ([]Record, error) {
 			// header is informative only (access lines carry their
 			// own rank column).
 			if v, ok := headerValue(line, "file_name:"); ok {
-				fileName = v
+				fileName = cache.Canon(v)
 			}
 			if v, ok := headerValue(line, "hostname:"); ok {
-				hostname = v
+				hostname = cache.Canon(v)
 			}
 			continue
 		}

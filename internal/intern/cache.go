@@ -1,0 +1,84 @@
+package intern
+
+import "sync"
+
+// cacheMax bounds a Cache's private map so a worker that sees an
+// adversarial stream of distinct strings (a fuzzed trace, say) cannot
+// grow its cache without bound; the shared Table keeps the canonical
+// mapping either way.
+const cacheMax = 1 << 15
+
+// Cache is a per-worker, unsynchronized front of a Table. Lookups that
+// hit the cache are plain map reads — no locks, no atomics — and the
+// []byte forms avoid the string conversion allocation, so a parse
+// worker interning the same call names and file paths over and over
+// runs allocation-free.
+//
+// A Cache must not be shared between goroutines; get one per worker
+// (GetCache/PutCache pool them).
+type Cache struct {
+	t *Table
+	m map[string]Sym
+}
+
+// NewCache returns an empty cache over t.
+func NewCache(t *Table) *Cache {
+	return &Cache{t: t, m: make(map[string]Sym, 64)}
+}
+
+// Table returns the shared table the cache fronts.
+func (c *Cache) Table() *Table { return c.t }
+
+func (c *Cache) trim() {
+	if len(c.m) >= cacheMax {
+		c.m = make(map[string]Sym, 64)
+	}
+}
+
+// Intern returns the symbol for s.
+func (c *Cache) Intern(s string) Sym {
+	if y, ok := c.m[s]; ok {
+		return y
+	}
+	y := c.t.Intern(s)
+	c.trim()
+	// Key with the table's canonical string so the cache never pins
+	// the caller's (possibly larger) backing allocation.
+	c.m[c.t.Str(y)] = y
+	return y
+}
+
+// InternBytes is Intern for a []byte key. On a cache hit no string is
+// allocated.
+func (c *Cache) InternBytes(b []byte) Sym {
+	if y, ok := c.m[string(b)]; ok { // compiler elides the conversion
+		return y
+	}
+	y := c.t.Intern(string(b))
+	c.trim()
+	c.m[c.t.Str(y)] = y
+	return y
+}
+
+// Canon returns the canonical (interned) string equal to s. Passing
+// every parsed call name and file path through Canon deduplicates the
+// event-log's strings: one allocation per distinct string per process,
+// not one per event.
+func (c *Cache) Canon(s string) string { return c.t.Str(c.Intern(s)) }
+
+// CanonBytes is Canon for a []byte, allocating only on first sight.
+func (c *Cache) CanonBytes(b []byte) string { return c.t.Str(c.InternBytes(b)) }
+
+// cachePool recycles per-worker caches over the Default table.
+var cachePool = sync.Pool{New: func() any { return NewCache(Default) }}
+
+// GetCache hands out a pooled per-worker cache over Default; return it
+// with PutCache when the worker is done with its file/section.
+func GetCache() *Cache { return cachePool.Get().(*Cache) }
+
+// PutCache returns a cache obtained from GetCache to the pool.
+func PutCache(c *Cache) {
+	if c.t == Default {
+		cachePool.Put(c)
+	}
+}

@@ -1,0 +1,208 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestTableBasics: dense ids, round trips, the pre-interned empty
+// string.
+func TestTableBasics(t *testing.T) {
+	tab := NewTable()
+	if got := tab.Intern(""); got != 0 {
+		t.Errorf("Intern(\"\") = %d, want 0", got)
+	}
+	a := tab.Intern("read")
+	b := tab.Intern("write")
+	if a == b {
+		t.Fatalf("distinct strings share symbol %d", a)
+	}
+	if got := tab.Intern("read"); got != a {
+		t.Errorf("re-intern = %d, want %d", got, a)
+	}
+	if tab.Str(a) != "read" || tab.Str(b) != "write" {
+		t.Errorf("Str round trip: %q, %q", tab.Str(a), tab.Str(b))
+	}
+	if tab.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (\"\", read, write)", tab.Len())
+	}
+}
+
+// TestTableBlockGrowth crosses several block boundaries and verifies
+// every symbol still round-trips.
+func TestTableBlockGrowth(t *testing.T) {
+	tab := NewTable()
+	const n = 3*blockLen + 17
+	syms := make([]Sym, n)
+	for i := 0; i < n; i++ {
+		syms[i] = tab.Intern(fmt.Sprintf("s%05d", i))
+	}
+	for i, y := range syms {
+		if got := tab.Str(y); got != fmt.Sprintf("s%05d", i) {
+			t.Fatalf("Str(%d) = %q", y, got)
+		}
+	}
+	if tab.Len() != n+1 {
+		t.Errorf("Len = %d, want %d", tab.Len(), n+1)
+	}
+}
+
+// TestInternConcurrent is the interner race test: N goroutines intern
+// an overlapping vocabulary through per-worker caches; afterwards every
+// string must have exactly one symbol, every observed symbol must
+// round-trip, and the table must hold exactly the vocabulary. Run under
+// -race this also proves the lock-free read path publishes safely.
+func TestInternConcurrent(t *testing.T) {
+	tab := NewTable()
+	const workers = 8
+	const perWorker = 4000
+	vocab := make([]string, 199) // shared, overlapping vocabulary
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("/data/dir%02d/file%d", i%13, i)
+	}
+	results := make([]map[string]Sym, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			c := NewCache(tab)
+			seen := make(map[string]Sym)
+			for i := 0; i < perWorker; i++ {
+				s := vocab[(w*31+i*7)%len(vocab)]
+				y := c.Intern(s)
+				if prev, ok := seen[s]; ok && prev != y {
+					t.Errorf("worker %d: %q got symbols %d and %d", w, s, prev, y)
+					return
+				}
+				seen[s] = y
+				if got := tab.Str(y); got != s {
+					t.Errorf("worker %d: Str(%d) = %q, want %q", w, y, got, s)
+					return
+				}
+			}
+			results[w] = seen
+		}(w)
+	}
+	wg.Wait()
+
+	// One id per string, across all workers.
+	global := make(map[string]Sym)
+	for w, seen := range results {
+		for s, y := range seen {
+			if prev, ok := global[s]; ok && prev != y {
+				t.Errorf("worker %d: %q = %d, another worker saw %d", w, s, y, prev)
+			}
+			global[s] = y
+		}
+	}
+	if len(global) != len(vocab) {
+		t.Errorf("observed %d distinct strings, want %d", len(global), len(vocab))
+	}
+	if tab.Len() != len(vocab)+1 { // +1 for the pre-interned ""
+		t.Errorf("table holds %d symbols, want %d", tab.Len(), len(vocab)+1)
+	}
+}
+
+// TestCacheBytesAndCanon: the []byte forms agree with the string forms
+// and return the canonical allocation.
+func TestCacheBytesAndCanon(t *testing.T) {
+	tab := NewTable()
+	c := NewCache(tab)
+	y := c.Intern("openat")
+	if got := c.InternBytes([]byte("openat")); got != y {
+		t.Errorf("InternBytes = %d, want %d", got, y)
+	}
+	if got := c.Canon("openat"); got != tab.Str(y) {
+		t.Errorf("Canon = %q", got)
+	}
+	if got := c.CanonBytes([]byte("openat")); got != tab.Str(y) {
+		t.Errorf("CanonBytes = %q", got)
+	}
+	if c.Table() != tab {
+		t.Error("Table() identity")
+	}
+}
+
+// TestLocalRemapIdentity: remapping a local table into an empty one
+// reproduces the sequential symbol assignment exactly — the one-shard
+// case of the merge remap.
+func TestLocalRemapIdentity(t *testing.T) {
+	l := NewLocal()
+	for i := 0; i < 100; i++ {
+		l.Intern(fmt.Sprintf("a%d", i%37))
+	}
+	dst := NewLocal()
+	r := l.RemapInto(dst)
+	for y := 0; y < l.Len(); y++ {
+		if r[y] != Sym(y) {
+			t.Fatalf("remap into empty: r[%d] = %d, want identity", y, r[y])
+		}
+		if dst.Str(r[y]) != l.Str(Sym(y)) {
+			t.Fatalf("remap changed string: %q -> %q", l.Str(Sym(y)), dst.Str(r[y]))
+		}
+	}
+}
+
+// TestLocalRemapMerge is the merge-remap property test: shard-local
+// tables built from a round-robin partition of one string stream,
+// remapped into a single table in shard order, must (a) preserve every
+// string exactly and (b) assign one symbol per distinct string — the
+// precondition under which the sharded analysis fold's artifacts are
+// byte-identical to the sequential fold's.
+func TestLocalRemapMerge(t *testing.T) {
+	stream := make([]string, 500)
+	for i := range stream {
+		stream[i] = fmt.Sprintf("/p/scratch/u%d/part%d", i%7, i%23)
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		locals := make([]*Local, shards)
+		for i := range locals {
+			locals[i] = NewLocal()
+		}
+		for i, s := range stream {
+			locals[i%shards].Intern(s)
+		}
+		global := NewLocal()
+		for si, l := range locals {
+			r := l.RemapInto(global)
+			for y := 0; y < l.Len(); y++ {
+				if global.Str(r[y]) != l.Str(Sym(y)) {
+					t.Fatalf("shards=%d shard %d: remap changed %q to %q",
+						shards, si, l.Str(Sym(y)), global.Str(r[y]))
+				}
+			}
+		}
+		// The merged table holds exactly the distinct strings.
+		distinct := make(map[string]bool)
+		for _, s := range stream {
+			distinct[s] = true
+		}
+		if global.Len() != len(distinct) {
+			t.Errorf("shards=%d: merged table %d symbols, want %d", shards, global.Len(), len(distinct))
+		}
+		// Every string has exactly one global symbol, equal to a direct
+		// sequential intern of the stream when shards == 1.
+		for s := range distinct {
+			if _, ok := global.Sym(s); !ok {
+				t.Errorf("shards=%d: %q missing from merged table", shards, s)
+			}
+		}
+	}
+}
+
+// TestGetPutCache: pooled caches front the Default table.
+func TestGetPutCache(t *testing.T) {
+	c := GetCache()
+	if c.Table() != Default {
+		t.Fatal("GetCache not over Default")
+	}
+	s := c.Canon("read")
+	PutCache(c)
+	c2 := GetCache()
+	defer PutCache(c2)
+	if got := c2.Canon("read"); got != s {
+		t.Errorf("canonical string changed across pool round trip")
+	}
+}

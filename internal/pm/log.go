@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/trace"
 )
 
@@ -69,7 +70,7 @@ type BuildOptions struct {
 func Build(el *trace.EventLog, m Mapping, opts BuildOptions) *Log {
 	b := NewBuilder(m, opts)
 	for _, c := range el.Cases() {
-		b.Add(c)
+		b.add(c)
 	}
 	return b.Finalize()
 }
@@ -79,53 +80,212 @@ func Build(el *trace.EventLog, m Mapping, opts BuildOptions) *Log {
 // activity-log of a trace set can be derived without the event-log ever
 // being materialized. Feeding cases in CaseID order yields exactly the
 // Log that Build produces.
+//
+// Internally the builder works in symbol space: events map to dense
+// activity symbols through a SymMapper, variants are keyed by the raw
+// symbol sequence, and per-event work involves no string building at
+// all. Finalize materializes the accumulated state into the exact
+// string-keyed Log the pre-symbol implementation produced.
 type Builder struct {
-	m    Mapping
+	sm   *SymMapper
 	opts BuildOptions
-	log  *Log
+
+	vars map[string]*symVariant // key: little-endian symbol bytes
+
+	startSym, endSym intern.Sym
+
+	seqbuf  []intern.Sym // per-case activity sequence, reused
+	keybuf  []byte       // per-case variant key, reused
+	symsbuf []intern.Sym // per-case MapCase output, reused (add path)
+
+	mapped, unmapped int
+}
+
+// symVariant is a variant in symbol space.
+type symVariant struct {
+	seq   []intern.Sym
+	mult  int
+	cases []trace.CaseID
 }
 
 // NewBuilder returns an empty builder for the mapping and options.
 func NewBuilder(m Mapping, opts BuildOptions) *Builder {
-	return &Builder{m: m, opts: opts, log: &Log{byKey: make(map[string]*Variant)}}
+	return NewBuilderSym(NewSymMapper(m), opts)
 }
+
+// NewBuilderSym returns an empty builder over a caller-supplied
+// SymMapper, so one analysis shard's builders (activity-log, DFG,
+// statistics) can share a single activity symbol table and map every
+// event exactly once.
+func NewBuilderSym(sm *SymMapper, opts BuildOptions) *Builder {
+	b := &Builder{sm: sm, opts: opts, vars: make(map[string]*symVariant, 16)}
+	b.startSym = sm.acts.Intern(string(Start))
+	b.endSym = sm.acts.Intern(string(End))
+	return b
+}
+
+// Mapper returns the builder's symbol mapper.
+func (b *Builder) Mapper() *SymMapper { return b.sm }
 
 // Add maps one case's events and folds the resulting trace into the
 // log. It returns the derived trace and whether the case contributed
 // (false when every event fell outside the mapping domain and
-// KeepEmpty is unset), so streaming consumers can reuse the sequence —
-// feeding it to a dfg.Builder, say — without mapping the case twice.
+// KeepEmpty is unset). The returned Trace is materialized for the
+// caller; the zero-allocation path is AddMapped.
 func (b *Builder) Add(c *trace.Case) (Trace, bool) {
-	l := b.log
-	seq := make(Trace, 0, len(c.Events)+2)
+	seq, ok := b.add(c)
+	if !ok {
+		return nil, false
+	}
+	return b.materialize(seq), true
+}
+
+// add is Add without the Trace materialization.
+func (b *Builder) add(c *trace.Case) ([]intern.Sym, bool) {
+	b.symsbuf = b.sm.MapCase(c, b.symsbuf[:0])
+	return b.AddMapped(c.ID, b.symsbuf)
+}
+
+// AddMapped folds one case given its pre-mapped activity symbols (one
+// entry per event, NoActivity for events outside the domain), as
+// produced by the shared SymMapper's MapCase. It returns the case's
+// activity sequence in symbol space — endpoints included when
+// configured, valid only until the next Add/AddMapped call — so the
+// caller can feed it to dfg.Builder.AddSymVariant without mapping the
+// case twice.
+func (b *Builder) AddMapped(id trace.CaseID, syms []intern.Sym) ([]intern.Sym, bool) {
+	seq := b.seqbuf[:0]
 	if b.opts.Endpoints {
-		seq = append(seq, Start)
+		seq = append(seq, b.startSym)
 	}
 	n := 0
-	for _, e := range c.Events {
-		a, ok := b.m.Map(e)
-		if !ok {
-			l.unmapped++
+	for _, y := range syms {
+		if y == NoActivity {
+			b.unmapped++
 			continue
 		}
-		l.mapped++
-		seq = append(seq, a)
+		b.mapped++
+		seq = append(seq, y)
 		n++
 	}
 	if n == 0 && !b.opts.KeepEmpty {
+		b.seqbuf = seq
 		return nil, false
 	}
 	if b.opts.Endpoints {
-		seq = append(seq, End)
+		seq = append(seq, b.endSym)
 	}
-	l.add(seq, c.ID)
+	b.seqbuf = seq
+	b.fold(seq, id)
 	return seq, true
 }
 
-// Finalize returns the accumulated log. The builder must not be used
-// afterwards.
-func (b *Builder) Finalize() *Log { return b.log }
+// fold counts the sequence into its variant.
+func (b *Builder) fold(seq []intern.Sym, id trace.CaseID) {
+	b.keybuf = symKey(b.keybuf[:0], seq)
+	v, ok := b.vars[string(b.keybuf)] // no-alloc lookup
+	if !ok {
+		v = &symVariant{seq: append([]intern.Sym(nil), seq...)}
+		b.vars[string(b.keybuf)] = v
+	}
+	v.mult++
+	v.cases = append(v.cases, id)
+}
 
+// symKey appends the little-endian byte form of the symbol sequence —
+// an injective, allocation-free variant key.
+func symKey(dst []byte, seq []intern.Sym) []byte {
+	for _, y := range seq {
+		dst = append(dst, byte(y), byte(y>>8), byte(y>>16), byte(y>>24))
+	}
+	return dst
+}
+
+// materialize converts a symbol sequence into a Trace of activity
+// strings.
+func (b *Builder) materialize(seq []intern.Sym) Trace {
+	out := make(Trace, len(seq))
+	for i, y := range seq {
+		out[i] = Activity(b.sm.acts.Str(y))
+	}
+	return out
+}
+
+// MergeFrom folds another builder's accumulated state into b,
+// remapping o's shard-local symbols through b's tables — the symbol
+// form of Log.Merge, used by the sharded analysis fold before a single
+// Finalize. The same merge law holds: variant multiplicities and the
+// mapped/unmapped counters are integer sums, case lists interleave in
+// sorted CaseID order with b's entries first on ties, so merging shard
+// partials in shard order reproduces the sequential fold exactly. o
+// must not be used afterwards.
+func (b *Builder) MergeFrom(o *Builder) {
+	if o == nil {
+		return
+	}
+	b.mapped += o.mapped
+	b.unmapped += o.unmapped
+	r := o.sm.acts.RemapInto(b.sm.acts)
+	var seq []intern.Sym
+	for _, ov := range o.vars {
+		seq = seq[:0]
+		for _, y := range ov.seq {
+			seq = append(seq, r[y])
+		}
+		b.keybuf = symKey(b.keybuf[:0], seq)
+		v, ok := b.vars[string(b.keybuf)]
+		if !ok {
+			b.vars[string(b.keybuf)] = &symVariant{
+				seq:   append([]intern.Sym(nil), seq...),
+				mult:  ov.mult,
+				cases: ov.cases,
+			}
+			continue
+		}
+		v.cases = mergeCaseLists(v.cases, ov.cases)
+		v.mult += ov.mult
+	}
+}
+
+// Finalize materializes the accumulated state into a Log and returns
+// it. The builder must not be used afterwards.
+func (b *Builder) Finalize() *Log {
+	l := &Log{
+		byKey:    make(map[string]*Variant, len(b.vars)),
+		mapped:   b.mapped,
+		unmapped: b.unmapped,
+	}
+	type keyed struct {
+		key string
+		v   *Variant
+	}
+	out := make([]keyed, 0, len(b.vars))
+	for _, sv := range b.vars {
+		seq := b.materialize(sv.seq)
+		key := seq.Key()
+		// Two distinct symbol sequences can collapse onto one string
+		// key only if an activity embeds the NUL separator (outside
+		// the documented Activity contract); fold them the way the
+		// string-keyed builder always has.
+		if v, ok := l.byKey[key]; ok {
+			v.Cases = mergeCaseLists(v.Cases, sv.cases)
+			v.Mult += sv.mult
+			continue
+		}
+		v := &Variant{Seq: seq, Mult: sv.mult, Cases: sv.cases}
+		l.byKey[key] = v
+		out = append(out, keyed{key: key, v: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	l.variants = make([]*Variant, len(out))
+	for i, kv := range out {
+		l.variants[i] = kv.v
+	}
+	return l
+}
+
+// add folds one materialized trace into the log — the hand-construction
+// path used by tests and tools building Logs without a Builder.
 func (l *Log) add(seq Trace, id trace.CaseID) {
 	key := seq.Key()
 	v, ok := l.byKey[key]

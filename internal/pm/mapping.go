@@ -33,7 +33,14 @@ type CallTopDirs struct {
 
 // Map implements Mapping.
 func (m CallTopDirs) Map(e trace.Event) (Activity, bool) {
-	return MakeActivity(e.Call, TruncatePath(e.FP, m.Depth)), true
+	return m.MapCallPath(e.Call, e.FP)
+}
+
+// MapCallPath implements CallPathMapping: the activity depends only on
+// the call name and file path, so the symbol layer may memoize it per
+// distinct (call, fp) pair.
+func (m CallTopDirs) MapCallPath(call, fp string) (Activity, bool) {
+	return MakeActivity(call, TruncatePath(fp, m.Depth)), true
 }
 
 // TruncatePath keeps at most the top depth directory levels of an
@@ -61,15 +68,20 @@ type CallFileName struct {
 
 // Map implements Mapping.
 func (m CallFileName) Map(e trace.Event) (Activity, bool) {
+	return m.MapCallPath(e.Call, e.FP)
+}
+
+// MapCallPath implements CallPathMapping.
+func (m CallFileName) MapCallPath(call, fp string) (Activity, bool) {
 	keep := m.Keep
 	if keep <= 0 {
 		keep = 1
 	}
-	parts := strings.Split(strings.TrimPrefix(e.FP, "/"), "/")
+	parts := strings.Split(strings.TrimPrefix(fp, "/"), "/")
 	if len(parts) > keep {
 		parts = parts[len(parts)-keep:]
 	}
-	return MakeActivity(e.Call, strings.Join(parts, "/")), true
+	return MakeActivity(call, strings.Join(parts, "/")), true
 }
 
 // PrefixVar is one rewrite rule of an EnvMapping: paths under Prefix are
@@ -137,7 +149,12 @@ func (m *EnvMapping) Abstract(fp string) string {
 
 // Map implements Mapping.
 func (m *EnvMapping) Map(e trace.Event) (Activity, bool) {
-	return MakeActivity(e.Call, m.Abstract(e.FP)), true
+	return m.MapCallPath(e.Call, e.FP)
+}
+
+// MapCallPath implements CallPathMapping.
+func (m *EnvMapping) MapCallPath(call, fp string) (Activity, bool) {
+	return MakeActivity(call, m.Abstract(fp)), true
 }
 
 // Restrict narrows the domain of a mapping to events satisfying the

@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race reports whether the race detector is active, so
+// allocation-budget tests can skip themselves: the detector's shadow
+// memory and instrumented allocations make allocs-per-op meaningless.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -5,11 +5,11 @@
 package stats
 
 import (
-	"container/heap"
 	"math/bits"
 	"sort"
 	"time"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/trace"
 )
@@ -127,22 +127,29 @@ func eventRate(size int64, dur time.Duration) rateSum {
 	return rateSum{hi: qhi, lo: qlo}
 }
 
-// accum carries the per-activity running state that only resolves at
-// Finalize: the mean data rate (Equation 13 needs the event count) and
-// the interval set behind the max-concurrency sweep (Equation 16 needs
-// every interval; this is the one statistic whose working set grows
-// with the activity's events rather than the batch).
+// accum carries one activity's running state: the integral aggregates
+// (counts, durations, byte totals, the 128-bit rate sum of Equation 13)
+// and the interval set behind the max-concurrency sweep (Equation 16
+// needs every interval; this is the one statistic whose working set
+// grows with the activity's events rather than the batch).
 type accum struct {
+	events    int
+	totalDur  time.Duration
+	bytes     int64
+	hasBytes  bool
 	rate      rateSum
 	rateCount int64
 	intervals []trace.Interval
 }
 
-// merge folds another partial accumulation in. Both operations are
-// exact and order-insensitive: the rate sum is integer addition, and
-// the interval list is only ever consumed through the sorting
-// MaxConcurrency sweep.
+// merge folds another partial accumulation in. Every operation is
+// exact: integer sums, a boolean or, and an interval concatenation
+// whose order is irrelevant (Finalize's sweep sorts totally).
 func (a *accum) merge(o *accum) {
+	a.events += o.events
+	a.totalDur += o.totalDur
+	a.bytes += o.bytes
+	a.hasBytes = a.hasBytes || o.hasBytes
 	a.rate.add(o.rate)
 	a.rateCount += o.rateCount
 	a.intervals = append(a.intervals, o.intervals...)
@@ -154,41 +161,56 @@ func (a *accum) merge(o *accum) {
 // 128-bit rate sum), so any partition of the cases over partial
 // computers followed by Merge reproduces the sequential fold exactly;
 // the only divisions happen in Finalize.
+//
+// The computer groups in symbol space: events map to dense activity
+// symbols through a pm.SymMapper (its own, or the shard's shared one
+// via NewComputerSym), and the per-activity state lives in a slice
+// indexed by symbol — no string-keyed map operation per event.
 type Computer struct {
-	m   pm.Mapping
-	s   *Stats
-	acc map[pm.Activity]*accum
+	sm       *pm.SymMapper
+	totalDur time.Duration
+	accs     []accum      // indexed by activity symbol; events==0 ⇒ absent
+	symsbuf  []intern.Sym // Add scratch
 }
 
 // NewComputer returns an empty computer for the mapping.
 func NewComputer(m pm.Mapping) *Computer {
-	return &Computer{
-		m:   m,
-		s:   &Stats{byActivity: make(map[pm.Activity]*ActivityStats)},
-		acc: make(map[pm.Activity]*accum),
-	}
+	return NewComputerSym(pm.NewSymMapper(m))
+}
+
+// NewComputerSym returns an empty computer over a caller-supplied
+// SymMapper, sharing the shard's activity symbol table so a case
+// mapped once can feed the activity-log, DFG and statistics builders.
+func NewComputerSym(sm *pm.SymMapper) *Computer {
+	return &Computer{sm: sm}
 }
 
 // Add folds one case's events into the running statistics.
 func (c *Computer) Add(cs *trace.Case) {
-	for _, e := range cs.Events {
-		a, ok := c.m.Map(e)
-		if !ok {
+	c.symsbuf = c.sm.MapCase(cs, c.symsbuf[:0])
+	c.AddMapped(cs, c.symsbuf)
+}
+
+// AddMapped folds one case given its pre-mapped activity symbols (one
+// entry per event, pm.NoActivity for events outside the domain), as
+// produced by the shared SymMapper's MapCase.
+func (c *Computer) AddMapped(cs *trace.Case, syms []intern.Sym) {
+	for i := range cs.Events {
+		y := syms[i]
+		if y == pm.NoActivity {
 			continue
 		}
-		st := c.s.byActivity[a]
-		if st == nil {
-			st = &ActivityStats{Activity: a}
-			c.s.byActivity[a] = st
-			c.acc[a] = &accum{}
+		for int(y) >= len(c.accs) {
+			c.accs = append(c.accs, accum{})
 		}
-		ac := c.acc[a]
-		st.Events++
-		st.TotalDur += e.Dur
-		c.s.TotalDur += e.Dur
+		e := &cs.Events[i]
+		ac := &c.accs[y]
+		ac.events++
+		ac.totalDur += e.Dur
+		c.totalDur += e.Dur
 		if e.HasSize() {
-			st.Bytes += e.Size
-			st.HasBytes = true
+			ac.bytes += e.Size
+			ac.hasBytes = true
 			if e.Dur > 0 {
 				// dr(e) = e[size] / e[dur], Equation (11), kept as an
 				// exact integer so partials merge bit-for-bit.
@@ -203,8 +225,9 @@ func (c *Computer) Add(cs *trace.Case) {
 // Merge folds another computer's partial state into c, exactly: counts,
 // durations and byte totals are integer sums, the data-rate numerators
 // are 128-bit integer sums, and the interval sets concatenate (their
-// order is irrelevant — Finalize's sweep sorts them totally). Merging
-// shard partials in any order reproduces the sequential fold
+// order is irrelevant — Finalize's sweep sorts them totally). o's
+// shard-local activity symbols are remapped through c's table, so
+// merging shard partials in any order reproduces the sequential fold
 // bit-for-bit. Both computers must have been built for the same
 // mapping; o must not be used afterwards. A nil o is a no-op, matching
 // pm.MergeLogs and dfg.Merge.
@@ -212,19 +235,18 @@ func (c *Computer) Merge(o *Computer) {
 	if o == nil {
 		return
 	}
-	c.s.TotalDur += o.s.TotalDur
-	for a, ost := range o.s.byActivity {
-		st := c.s.byActivity[a]
-		if st == nil {
-			c.s.byActivity[a] = ost
-			c.acc[a] = o.acc[a]
+	c.totalDur += o.totalDur
+	r := o.sm.Acts().RemapInto(c.sm.Acts())
+	for y := range o.accs {
+		oac := &o.accs[y]
+		if oac.events == 0 {
 			continue
 		}
-		st.Events += ost.Events
-		st.TotalDur += ost.TotalDur
-		st.Bytes += ost.Bytes
-		st.HasBytes = st.HasBytes || ost.HasBytes
-		c.acc[a].merge(o.acc[a])
+		m := r[y]
+		for int(m) >= len(c.accs) {
+			c.accs = append(c.accs, accum{})
+		}
+		c.accs[m].merge(oac)
 	}
 }
 
@@ -251,20 +273,37 @@ func Merge(parts ...*Computer) *Stats {
 }
 
 // Finalize runs the per-activity aggregation (mean rate, max-concurrency
-// sweep, relative-duration normalization) and returns the statistics.
-// The computer must not be used afterwards.
+// sweep, relative-duration normalization), materializes the
+// string-keyed statistics and returns them. The computer must not be
+// used afterwards.
 func (c *Computer) Finalize() *Stats {
-	for a, st := range c.s.byActivity {
-		ac := c.acc[a]
+	s := &Stats{
+		byActivity: make(map[pm.Activity]*ActivityStats, len(c.accs)),
+		TotalDur:   c.totalDur,
+	}
+	acts := c.sm.Acts()
+	for y := range c.accs {
+		ac := &c.accs[y]
+		if ac.events == 0 {
+			continue
+		}
+		st := &ActivityStats{
+			Activity: pm.Activity(acts.Str(intern.Sym(y))),
+			Events:   ac.events,
+			TotalDur: ac.totalDur,
+			Bytes:    ac.bytes,
+			HasBytes: ac.hasBytes,
+		}
 		if ac.rateCount > 0 {
 			st.ProcRate = ac.rate.float64() / float64(ac.rateCount)
 		}
 		st.MaxConc = MaxConcurrency(ac.intervals)
-		if c.s.TotalDur > 0 {
-			st.RelDur = float64(st.TotalDur) / float64(c.s.TotalDur)
+		if c.totalDur > 0 {
+			st.RelDur = float64(st.TotalDur) / float64(c.totalDur)
 		}
+		s.byActivity[st.Activity] = st
 	}
-	return c.s
+	return s
 }
 
 // MaxConcurrency implements get_max_concurrency of Equation (16): sort
@@ -287,27 +326,63 @@ func MaxConcurrency(intervals []trace.Interval) int {
 	}
 	ivs := append([]trace.Interval(nil), intervals...)
 	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Less(ivs[j]) })
-	var ends endHeap
+	ends := make(endHeap, 0, 16)
 	maxOpen := 0
 	for _, iv := range ivs {
-		for ends.Len() > 0 && ends[0] <= iv.Start {
-			heap.Pop(&ends)
+		for len(ends) > 0 && ends[0] <= iv.Start {
+			ends.pop()
 		}
-		heap.Push(&ends, iv.End)
-		if ends.Len() > maxOpen {
-			maxOpen = ends.Len()
+		ends.push(iv.End)
+		if len(ends) > maxOpen {
+			maxOpen = len(ends)
 		}
 	}
 	return maxOpen
 }
 
+// endHeap is a hand-rolled min-heap of end timestamps. container/heap
+// would box every Push/Pop value into an interface — two allocations
+// per event in the Finalize sweep, the last per-event allocations of
+// the whole analysis fold.
 type endHeap []time.Duration
 
-func (h endHeap) Len() int           { return len(h) }
-func (h endHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h endHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *endHeap) Push(x any)        { *h = append(*h, x.(time.Duration)) }
-func (h *endHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h *endHeap) push(v time.Duration) {
+	*h = append(*h, v)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (h *endHeap) pop() {
+	s := *h
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l] < s[small] {
+			small = l
+		}
+		if r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+}
 
 // Timeline returns t_f(a, C) of Equation (15): the intervals of every
 // event of the activity, ordered by start time, with their case

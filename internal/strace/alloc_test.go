@@ -1,0 +1,68 @@
+package strace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"stinspector/internal/race"
+	"stinspector/internal/trace"
+)
+
+// TestParseAllocBudget is the parse-side allocation-regression gate of
+// the symbol-interning refactor: ParseCase over a realistic mixed-call
+// trace must stay under a fixed allocations-per-event ceiling. The
+// pre-interning implementation sat near 5 allocs/event (line copy,
+// timestamp SplitN, per-record Args slices, unquote copies); the
+// interned, arena-backed parser runs near 1.1 — the line copy plus
+// amortized slice growth. The ceiling is set at 2 to leave headroom
+// for scanner-buffer variance without ever letting the old behaviour
+// back in. Skipped under -race: the detector's instrumented allocator
+// makes the count meaningless.
+func TestParseAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const events = 4000
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	id := trace.CaseID{CID: "alloc", Host: "h", RID: 1}
+	calls := []string{"openat", "read", "pwrite64", "lseek", "close", "fsync"}
+	paths := []string{"/usr/lib/x86_64-linux-gnu/libselinux.so.1", "/p/scratch/u/ssf/testfile", "/etc/ld.so.cache"}
+	for i := 0; i < events; i++ {
+		w.WriteEvent(trace.Event{
+			PID:   9000 + i%3,
+			Call:  calls[i%len(calls)],
+			Start: time.Duration(i) * time.Millisecond,
+			Dur:   50 * time.Microsecond,
+			FP:    paths[i%len(paths)],
+			Size:  4096,
+		})
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.String()
+
+	// Warm the interner and the pools so the measurement reflects the
+	// steady state the ingestion workers run in.
+	if _, err := ParseCase(id, strings.NewReader(data), Options{Calls: map[string]bool{}}); err != nil {
+		t.Fatal(err)
+	}
+
+	avg := testing.AllocsPerRun(10, func() {
+		c, err := ParseCase(id, strings.NewReader(data), Options{Calls: map[string]bool{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != events {
+			t.Fatalf("parsed %d events, want %d", c.Len(), events)
+		}
+	})
+	perEvent := avg / events
+	t.Logf("ParseCase: %.0f allocs for %d events = %.3f allocs/event", avg, events, perEvent)
+	if perEvent > 2.0 {
+		t.Errorf("allocs/event = %.3f, budget 2.0 — the zero-alloc parse path regressed", perEvent)
+	}
+}

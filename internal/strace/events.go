@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/trace"
 )
 
@@ -68,6 +69,15 @@ func (o Options) callWanted(name string) bool {
 // events are ordered by start time (strace preserves event order, and the
 // merge assigns each merged call its original start timestamp).
 func EventsFromRecords(id trace.CaseID, records []Record, opts Options) ([]trace.Event, error) {
+	cache := intern.GetCache()
+	defer intern.PutCache(cache)
+	return eventsFromRecords(id, records, opts, cache)
+}
+
+// eventsFromRecords is EventsFromRecords over a caller-owned symbol
+// cache, so the per-file parse worker canonicalizes call names and
+// file paths without re-acquiring a cache per record.
+func eventsFromRecords(id trace.CaseID, records []Record, opts Options, cache *intern.Cache) ([]trace.Event, error) {
 	events := make([]trace.Event, 0, len(records))
 	// strace guarantees at most one outstanding (unfinished) call per
 	// process, so a single pending record per PID suffices.
@@ -83,7 +93,7 @@ func EventsFromRecords(id trace.CaseID, records []Record, opts Options) ([]trace
 		if !opts.callWanted(r.Call) {
 			return
 		}
-		events = append(events, recordToEvent(id, r))
+		events = append(events, recordToEvent(id, r, cache))
 	}
 
 	for _, r := range records {
@@ -151,19 +161,21 @@ func mergeUnfinished(u, r Record) Record {
 // complete record: the file path comes from the fd annotation of the first
 // argument (or, for openat and friends, from the annotated return fd,
 // falling back to the quoted path argument), and the transfer size from
-// the return value of read/write variants.
-func recordToEvent(id trace.CaseID, r Record) trace.Event {
+// the return value of read/write variants. The call name and path are
+// canonicalized through the symbol cache, so the event holds interned
+// strings rather than per-event substring pins of the trace line.
+func recordToEvent(id trace.CaseID, r Record, cache *intern.Cache) trace.Event {
 	e := trace.Event{
 		CID:   id.CID,
 		Host:  id.Host,
 		RID:   id.RID,
 		PID:   r.PID,
-		Call:  r.Call,
+		Call:  cache.Canon(r.Call),
 		Start: r.Time,
 		Dur:   r.Dur,
 		Size:  trace.SizeUnknown,
 	}
-	e.FP = extractPath(r)
+	e.FP = cache.Canon(extractPath(r))
 	if TransferCalls[r.Call] && r.RetOK && r.RetPath == "" && r.RetInt >= 0 {
 		e.Size = r.RetInt
 	}
@@ -251,6 +263,10 @@ func unquote(s string) (string, bool) {
 		body = body[:i]
 	} else {
 		return "", false
+	}
+	// Fast path: no escapes means the literal is a plain subslice.
+	if strings.IndexByte(body, '\\') < 0 {
+		return body, true
 	}
 	// Minimal unescaping: \" and \\ are the forms strace emits in
 	// paths.

@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 )
 
 // ParseError describes a line that could not be parsed.
@@ -21,10 +23,46 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("strace: %s: %q", e.Msg, e.Text)
 }
 
+// argBuilder materializes argument lists into a shared per-file arena,
+// so the hot ParseCase loop does not allocate a fresh []string per
+// record: every record's Args is a capacity-clamped subslice of the
+// arena, and the argument strings themselves are subslices of the line.
+// The zero value allocates a private arena, which is what the
+// standalone ParseLine uses.
+type argBuilder struct {
+	arena []string
+}
+
+// split splits an argument list, appending into the arena and returning
+// the record's view of it (nil for an empty list, matching the
+// historical splitArgs contract).
+func (ab *argBuilder) split(s string) []string {
+	start := len(ab.arena)
+	ab.arena = splitArgsInto(s, ab.arena)
+	if len(ab.arena) == start {
+		return nil
+	}
+	return ab.arena[start:len(ab.arena):len(ab.arena)]
+}
+
+// reset drops the argument references accumulated for one file so the
+// pooled arena does not pin parsed line text, keeping the (largest)
+// backing array for reuse.
+func (ab *argBuilder) reset() {
+	clear(ab.arena)
+	ab.arena = ab.arena[:0]
+}
+
 // ParseLine parses one line of strace output into a Record. The line may
 // or may not carry a leading PID column (strace -f); the parser detects
 // this from the shape of the first field.
 func ParseLine(line string) (Record, error) {
+	return parseLineWith(line, &argBuilder{})
+}
+
+// parseLineWith is ParseLine with a caller-owned argument arena — the
+// form the per-file parsing loop uses.
+func parseLineWith(line string, ab *argBuilder) (Record, error) {
 	rec := Record{Raw: line}
 	s := strings.TrimRight(line, "\r\n")
 	if strings.TrimSpace(s) == "" {
@@ -60,9 +98,9 @@ func ParseLine(line string) (Record, error) {
 	case strings.HasPrefix(rest, "---"):
 		return parseSignal(rec, rest, line)
 	case strings.HasPrefix(rest, "<..."):
-		return parseResumed(rec, rest, line)
+		return parseResumed(rec, rest, line, ab)
 	default:
-		return parseCall(rec, rest, line)
+		return parseCall(rec, rest, line, ab)
 	}
 }
 
@@ -80,10 +118,33 @@ func parseExit(rec Record, rest, line string) (Record, error) {
 		return rec, nil
 	}
 	if sig, found := strings.CutPrefix(body, "killed by "); found {
-		rec.Call = strings.Fields(sig)[0]
+		rec.Call = firstField(sig)
 		return rec, nil
 	}
 	return rec, &ParseError{Text: line, Msg: "unrecognized +++ record"}
+}
+
+// firstField returns the first whitespace-delimited field of s as a
+// subslice — strings.Fields(s)[0] without materializing the slice (or
+// panicking on all-space input).
+func firstField(s string) string {
+	start := 0
+	for start < len(s) {
+		r, sz := utf8.DecodeRuneInString(s[start:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		start += sz
+	}
+	end := start
+	for end < len(s) {
+		r, sz := utf8.DecodeRuneInString(s[end:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		end += sz
+	}
+	return s[start:end]
 }
 
 // parseSignal parses "--- SIGCHLD {si_signo=SIGCHLD, ...} ---".
@@ -93,12 +154,12 @@ func parseSignal(rec Record, rest, line string) (Record, error) {
 	if body == "" {
 		return rec, &ParseError{Text: line, Msg: "empty signal record"}
 	}
-	rec.Call = strings.Fields(body)[0]
+	rec.Call = firstField(body)
 	return rec, nil
 }
 
 // parseResumed parses "<... read resumed> ..., 405) = 404 <0.000223>".
-func parseResumed(rec Record, rest, line string) (Record, error) {
+func parseResumed(rec Record, rest, line string, ab *argBuilder) (Record, error) {
 	rec.Kind = KindResumed
 	body := strings.TrimPrefix(rest, "<...")
 	idx := strings.Index(body, "resumed>")
@@ -116,7 +177,7 @@ func parseResumed(rec Record, rest, line string) (Record, error) {
 	}
 	argPart = strings.TrimSpace(argPart)
 	argPart = strings.TrimSuffix(argPart, ")")
-	rec.Args = splitArgs(argPart)
+	rec.Args = ab.split(argPart)
 	if err := parseReturn(&rec, retPart); err != nil {
 		return rec, &ParseError{Text: line, Msg: err.Error()}
 	}
@@ -124,7 +185,7 @@ func parseResumed(rec Record, rest, line string) (Record, error) {
 }
 
 // parseCall parses complete and unfinished system-call records.
-func parseCall(rec Record, rest, line string) (Record, error) {
+func parseCall(rec Record, rest, line string, ab *argBuilder) (Record, error) {
 	open := strings.IndexByte(rest, '(')
 	if open <= 0 {
 		return rec, &ParseError{Text: line, Msg: "missing '(' in system call record"}
@@ -139,7 +200,7 @@ func parseCall(rec Record, rest, line string) (Record, error) {
 		rec.Kind = KindUnfinished
 		argPart := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(body), "<unfinished ...>"))
 		argPart = strings.TrimSuffix(strings.TrimSpace(argPart), ",")
-		rec.Args = splitArgs(argPart)
+		rec.Args = ab.split(argPart)
 		return rec, nil
 	}
 
@@ -150,7 +211,7 @@ func parseCall(rec Record, rest, line string) (Record, error) {
 	}
 	argPart = strings.TrimSpace(argPart)
 	argPart = strings.TrimSuffix(argPart, ")")
-	rec.Args = splitArgs(argPart)
+	rec.Args = ab.split(argPart)
 	if err := parseReturn(&rec, retPart); err != nil {
 		return rec, &ParseError{Text: line, Msg: err.Error()}
 	}
@@ -240,16 +301,21 @@ func parseReturn(rec *Record, s string) error {
 	return nil
 }
 
-// splitArgs splits an argument list at top-level commas, respecting
+// splitArgs is splitArgsInto with a fresh slice — the standalone form.
+func splitArgs(s string) []string { return splitArgsInto(s, nil) }
+
+// splitArgsInto splits an argument list at top-level commas, respecting
 // strings (with escapes), parentheses, brackets, braces and fd-path
-// angle-bracket annotations.
-func splitArgs(s string) []string {
+// angle-bracket annotations. Every argument is a whitespace-trimmed
+// subslice of s; results are appended to out, so the per-file parsing
+// loop amortizes the slice allocation across records. An empty (or
+// all-space) list appends nothing.
+func splitArgsInto(s string, out []string) []string {
 	s = strings.TrimSpace(s)
 	if s == "" {
-		return nil
+		return out
 	}
 	var (
-		out   []string
 		depth int
 		inStr bool
 		start int
@@ -281,8 +347,7 @@ func splitArgs(s string) []string {
 			}
 		}
 	}
-	out = append(out, strings.TrimSpace(s[start:]))
-	return out
+	return append(out, strings.TrimSpace(s[start:]))
 }
 
 // SplitFDPath splits an fd-with-path token produced by strace -y, for
@@ -304,10 +369,11 @@ func SplitFDPath(s string) (fd int, path string, ok bool) {
 // duration since the respective zero point.
 func ParseTimestamp(s string) (time.Duration, error) {
 	if strings.Count(s, ":") == 2 {
-		parts := strings.SplitN(s, ":", 3)
-		h, err1 := strconv.Atoi(parts[0])
-		m, err2 := strconv.Atoi(parts[1])
-		sec, err3 := parseSeconds(parts[2])
+		i := strings.IndexByte(s, ':')
+		j := i + 1 + strings.IndexByte(s[i+1:], ':')
+		h, err1 := strconv.Atoi(s[:i])
+		m, err2 := strconv.Atoi(s[i+1 : j])
+		sec, err3 := parseSeconds(s[j+1:])
 		if err1 != nil || err2 != nil || err3 != nil || h < 0 || h > 23 || m < 0 || m > 59 || sec < 0 || sec >= 61*time.Second {
 			return 0, fmt.Errorf("bad -tt timestamp %q", s)
 		}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/source"
 	"stinspector/internal/trace"
 )
@@ -27,12 +28,18 @@ var scanBufPool = sync.Pool{
 	},
 }
 
-// recordPool recycles the record slices that ParseCase fills and then
-// discards once the records are converted to events.
+// caseBuf is the pooled per-file parsing state: the record slice
+// ParseCase fills and discards once records become events, and the
+// argument arena every record's Args subslices.
+type caseBuf struct {
+	records []Record
+	args    argBuilder
+}
+
+// recordPool recycles the per-file parsing buffers.
 var recordPool = sync.Pool{
 	New: func() any {
-		s := make([]Record, 0, 1024)
-		return &s
+		return &caseBuf{records: make([]Record, 0, 1024)}
 	},
 }
 
@@ -40,12 +47,13 @@ var recordPool = sync.Pool{
 // Unparseable lines are returned as errors unless lenient is true, in
 // which case they are skipped and counted.
 func ReadRecords(r io.Reader, lenient bool) ([]Record, int, error) {
-	return readRecordsInto(nil, r, lenient)
+	return readRecordsInto(nil, r, lenient, &argBuilder{})
 }
 
-// readRecordsInto is ReadRecords appending into a caller-provided slice,
-// enabling ParseCase to reuse pooled backing arrays across files.
-func readRecordsInto(records []Record, r io.Reader, lenient bool) ([]Record, int, error) {
+// readRecordsInto is ReadRecords appending into a caller-provided slice
+// and argument arena, enabling ParseCase to reuse pooled backing arrays
+// across files.
+func readRecordsInto(records []Record, r io.Reader, lenient bool, ab *argBuilder) ([]Record, int, error) {
 	skipped := 0
 	bufp := scanBufPool.Get().(*[]byte)
 	defer scanBufPool.Put(bufp)
@@ -58,7 +66,7 @@ func readRecordsInto(records []Record, r io.Reader, lenient bool) ([]Record, int
 		if strings.TrimSpace(text) == "" {
 			continue
 		}
-		rec, err := ParseLine(text)
+		rec, err := parseLineWith(text, ab)
 		if err != nil {
 			if lenient {
 				skipped++
@@ -79,25 +87,34 @@ func readRecordsInto(records []Record, r io.Reader, lenient bool) ([]Record, int
 }
 
 // ParseCase parses a single trace stream into a case with the given
-// identity.
+// identity. Call names, file paths and the case identity strings are
+// canonicalized through the process-wide symbol table
+// (intern.Default), so the resulting events share one string per
+// distinct value instead of allocating per event.
 func ParseCase(id trace.CaseID, r io.Reader, opts Options) (*trace.Case, error) {
-	recp := recordPool.Get().(*[]Record)
+	cache := intern.GetCache()
+	defer intern.PutCache(cache)
+	id.CID = cache.Canon(id.CID)
+	id.Host = cache.Canon(id.Host)
+
+	cb := recordPool.Get().(*caseBuf)
 	defer func() {
 		// Drop the string references before pooling so the backing
-		// array does not pin parsed line text across files. Clear the
-		// full capacity: on a parse error the slice header is still
-		// len 0 while the backing array already holds records.
-		s := (*recp)[:cap(*recp)]
+		// arrays do not pin parsed line text across files. Clear the
+		// records' full capacity: on a parse error the slice header is
+		// still len 0 while the backing array already holds records.
+		s := cb.records[:cap(cb.records)]
 		clear(s)
-		*recp = s[:0]
-		recordPool.Put(recp)
+		cb.records = s[:0]
+		cb.args.reset()
+		recordPool.Put(cb)
 	}()
-	records, _, err := readRecordsInto((*recp)[:0], r, !opts.Strict)
+	records, _, err := readRecordsInto(cb.records[:0], r, !opts.Strict, &cb.args)
 	if err != nil {
 		return nil, err
 	}
-	*recp = records
-	events, err := EventsFromRecords(id, records, opts)
+	cb.records = records
+	events, err := eventsFromRecords(id, records, opts, cache)
 	if err != nil {
 		return nil, err
 	}
