@@ -27,6 +27,14 @@
 // wall_ns, mb_per_s, events_per_s, allocs_per_event), so the
 // performance trajectory is trackable across commits; CI uploads the
 // file as the BENCH_ingest.json artifact.
+//
+// -scoped-syms runs each timed ingestion pass over its own scoped
+// symbol table instead of the process-wide one (the long-lived-service
+// configuration); the report then includes the resident-symbol count
+// per pass and confirms the process-wide table did not grow.
+//
+// Exit status: 0 on success (including -h), 2 for command-line (usage)
+// errors, 1 for runtime failures (including failed checks).
 package main
 
 import (
@@ -39,8 +47,10 @@ import (
 	"strings"
 	"time"
 
+	"stinspector/internal/cliutil"
 	"stinspector/internal/core"
 	"stinspector/internal/experiments"
+	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/source"
 	"stinspector/internal/strace"
@@ -49,10 +59,14 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "stbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Report(os.Stderr, "stbench", run(os.Args[1:])))
+}
+
+// usagef builds a usage error — "you invoked me wrong" (exit 2) as
+// opposed to "the benchmark or its checks failed" (exit 1), per the
+// contract in internal/cliutil.
+func usagef(format string, args ...any) error {
+	return cliutil.Usagef(format, args...)
 }
 
 func run(args []string) error {
@@ -70,15 +84,33 @@ func run(args []string) error {
 	window := fs.Int("window", 0, "streaming pass: max cases resident (-ingest mode; 0 = 2x workers)")
 	ashards := fs.Int("ashards", 0, "analysis fold shards (-ingest mode; 0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the -ingest throughput table as JSON to this path (e.g. BENCH_ingest.json)")
+	scopedSyms := fs.Bool("scoped-syms", false, "-ingest mode: scope a fresh symbol table to each timed pass instead of the process-wide table, and report resident symbols")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.Usage(err)
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{{"j", *jobs}, {"window", *window}, {"ashards", *ashards}} {
+		if f.value < 0 {
+			return usagef("-%s must not be negative (got %d); 0 selects the default", f.name, f.value)
+		}
+	}
+	if *ingest < 0 {
+		return usagef("-ingest must not be negative (got %d); omit it to run figures", *ingest)
 	}
 
 	if *ingest > 0 {
-		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath)
+		if *events < 1 {
+			return usagef("-events must be at least 1 in -ingest mode (got %d)", *events)
+		}
+		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms)
 	}
 	if *jsonPath != "" {
-		return fmt.Errorf("-json requires -ingest mode")
+		return usagef("-json requires -ingest mode")
+	}
+	if *scopedSyms {
+		return usagef("-scoped-syms requires -ingest mode")
 	}
 
 	scale := experiments.Scale{
@@ -149,8 +181,11 @@ func measured(f func() error) (time.Duration, uint64, error) {
 // (the ingest section), then times the analysis fold over the already
 // materialized log at one shard versus ashards shards (the analysis
 // section) — so a regression report names the stage that slowed down.
-// jsonPath, when non-empty, receives the table as JSON.
-func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string) error {
+// jsonPath, when non-empty, receives the table as JSON. With scoped
+// true every timed pass owns a fresh symbol table (the
+// long-lived-service configuration) and the report adds the
+// resident-symbol accounting.
+func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string, scoped bool) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -204,9 +239,23 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 	}
 	var stages []benchStage
 
+	// Each timed pass owns its symbol universe when scoped: a fresh
+	// table per pass, dropped with the pass's result — the resident
+	// count below is therefore a per-pass observable, and the
+	// process-wide Default must not move.
+	defaultSyms0 := intern.Default.Len()
+	var passSyms int // resident symbols of the most recent scoped pass
+	newTab := func() *intern.Table {
+		if !scoped {
+			return nil
+		}
+		return intern.NewTable()
+	}
+
 	run := func(parallelism int) (time.Duration, uint64, error) {
-		return measured(func() error {
-			got, err := strace.ReadDir(dir, strace.Options{Strict: true, Parallelism: parallelism})
+		tab := newTab()
+		wall, allocs, err := measured(func() error {
+			got, err := strace.ReadDir(dir, strace.Options{Strict: true, Parallelism: parallelism, Syms: tab})
 			if err != nil {
 				return err
 			}
@@ -215,14 +264,19 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 			}
 			return nil
 		})
+		if tab != nil {
+			passSyms = tab.Len()
+		}
+		return wall, allocs, err
 	}
 
 	// The streaming pass consumes cases as they arrive and drops them —
 	// peak memory is the resident window, not the trace set.
 	runStream := func() (time.Duration, uint64, int, error) {
 		peak := 0
+		tab := newTab()
 		wall, allocs, err := measured(func() error {
-			src, err := strace.StreamDir(dir, strace.Options{Strict: true, Parallelism: jobs, Window: window})
+			src, err := strace.StreamDir(dir, strace.Options{Strict: true, Parallelism: jobs, Window: window, Syms: tab})
 			if err != nil {
 				return err
 			}
@@ -241,11 +295,19 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 			peak = source.PeakResident(src)
 			return nil
 		})
+		if tab != nil {
+			passSyms = tab.Len()
+		}
 		return wall, allocs, peak, err
 	}
 
-	// Warm the page cache (and the symbol table) so all timings measure
-	// parsing, not disk or first-sight interning.
+	// Warm the page cache so all timings measure parsing, not disk. In
+	// Default mode this also warms the symbol table, so the timed passes
+	// see no first-sight interning; in scoped mode each timed pass
+	// deliberately starts with a cold table — paying the vocabulary's
+	// first-sight interning per pass IS the long-lived-service
+	// configuration under measurement, so its numbers are not directly
+	// comparable to a Default-mode run.
 	if _, _, err := run(jobs); err != nil {
 		return err
 	}
@@ -273,6 +335,19 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 	fmt.Printf("%-32s %12v %11.1f MB/s %14.3f\n", fmt.Sprintf("streaming (j=%d, window=%d)", jobs, window), str.Round(time.Millisecond), float64(bytes)/1e6/str.Seconds(), aev(strAllocs))
 	fmt.Printf("ingest speedup: %.2fx\n", seq.Seconds()/par.Seconds())
 	fmt.Printf("peak cases resident (streaming): %d of %d files\n", peak, nFiles)
+	if scoped {
+		grew := intern.Default.Len() - defaultSyms0
+		fmt.Printf("resident symbols: %d per scoped ingestion pass (process-wide Default grew by %d)\n",
+			passSyms, grew)
+		// Scoped passes must leave Default untouched; growth means some
+		// ingestion call site fell back to the process-wide table. Fail
+		// the run so the CI smoke gates the property, not just prints it.
+		if grew != 0 {
+			return fmt.Errorf("scoped ingestion grew intern.Default by %d symbols; the scoped-table plumbing leaks", grew)
+		}
+	} else {
+		fmt.Printf("resident symbols: %d in process-wide Default\n", intern.Default.Len())
+	}
 
 	// Analysis section: fold the already-materialized log through the
 	// streaming analysis so the numbers isolate synthesis (activity-log
@@ -322,6 +397,7 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 	fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n", "sequential fold (shards=1)", aseq.Round(time.Millisecond), mevs(aseq), aev(aseqAllocs))
 	fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n", fmt.Sprintf("sharded fold (shards=%d)", ashards), apar.Round(time.Millisecond), mevs(apar), aev(aparAllocs))
 	fmt.Printf("analysis speedup: %.2fx\n", aseq.Seconds()/apar.Seconds())
+	fmt.Printf("resident symbols (analysis fold): %d per run\n", parRes.Symbols)
 
 	if jsonPath != "" {
 		out, err := json.MarshalIndent(stages, "", "  ")

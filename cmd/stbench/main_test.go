@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"stinspector/internal/cliutil"
 )
 
 // The ls-scale figures run in microseconds; exercise the real dispatch.
@@ -95,5 +97,46 @@ func TestRunIngestBenchJSON(t *testing.T) {
 func TestRunJSONRequiresIngest(t *testing.T) {
 	if err := run([]string{"-fig", "fig2a", "-json", "x.json"}); err == nil {
 		t.Error("run(-fig -json) succeeded, want usage error")
+	}
+}
+
+// TestRunIngestBenchScopedSyms drives -ingest with per-pass scoped
+// symbol tables: both sections must still run green (the scoped path
+// is byte-identical, so the built-in artifact checks apply unchanged).
+func TestRunIngestBenchScopedSyms(t *testing.T) {
+	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-window", "4", "-ashards", "2", "-scoped-syms"})
+	if err != nil {
+		t.Errorf("run(-ingest -scoped-syms): %v", err)
+	}
+}
+
+// TestRunUsageExitCodes is the table-driven flag-validation suite:
+// contradictory modes and invalid worker/window counts — with or
+// without -scoped-syms — are usage errors (exit 2); a failed benchmark
+// or unknown figure is a runtime error (exit 1).
+func TestRunUsageExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"ok figure", []string{"-fig", "fig2", "-checks-only"}, 0},
+		{"help request", []string{"-h"}, 0},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"json without ingest", []string{"-fig", "fig2", "-json", "x.json"}, 2},
+		{"scoped without ingest", []string{"-scoped-syms"}, 2},
+		{"scoped with negative -j", []string{"-ingest", "4", "-scoped-syms", "-j", "-1"}, 2},
+		{"scoped with negative -window", []string{"-ingest", "4", "-scoped-syms", "-window", "-2"}, 2},
+		{"scoped with negative -ashards", []string{"-ingest", "4", "-scoped-syms", "-ashards", "-1"}, 2},
+		{"negative -ingest", []string{"-ingest", "-3"}, 2},
+		{"negative -events", []string{"-ingest", "4", "-events", "-1"}, 2},
+		{"zero -events in ingest mode", []string{"-ingest", "4", "-events", "0"}, 2},
+		{"unknown figure", []string{"-fig", "fig99"}, 1},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if got := cliutil.ExitCode(err); got != tc.exit {
+			t.Errorf("%s: run(%v) -> exit %d (err %v), want %d", tc.name, tc.args, got, err, tc.exit)
+		}
 	}
 }

@@ -31,6 +31,15 @@
 // exactly; the output is byte-identical to the in-memory path for every
 // -j/-window/-ashards setting. All three flags require values >= 1
 // when given; omitting a flag selects its default.
+//
+// -scoped-syms scopes a fresh symbol table to the run's ingestion pass
+// instead of the process-wide table. The output is byte-identical; the
+// flag matters for long-lived embeddings (and proves the scoped path
+// end to end): the pass's string vocabulary is collectable once its
+// results are dropped.
+//
+// Exit status: 0 on success (including -h), 2 for command-line (usage)
+// errors, 1 for runtime failures.
 package main
 
 import (
@@ -41,21 +50,39 @@ import (
 	"strings"
 
 	"stinspector"
+	"stinspector/internal/cliutil"
 	"stinspector/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "stinspect:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliutil.Report(os.Stderr, "stinspect", run(os.Args[1:])))
 }
+
+// usagef builds a usage error: exit 2 instead of 1, per the contract
+// in internal/cliutil.
+func usagef(format string, args ...any) error {
+	return cliutil.Usagef(format, args...)
+}
+
+// subcommands is the one inventory the top-level help and the
+// missing/unknown-subcommand errors all print, so the lists cannot
+// drift from each other (the dispatch switch below is the source of
+// truth it mirrors).
+const subcommands = "dfg, stats, variants, timeline, dist, percase, compare, report, footprint, archive, info"
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("missing subcommand (dfg, stats, variants, timeline, dist, percase, compare, archive, info)")
+		return usagef("missing subcommand (%s)", subcommands)
 	}
 	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "-h", "-help", "--help", "help":
+		// Top-level help is a success, like <subcommand> -h.
+		fmt.Println("usage: stinspect <subcommand> [flags]")
+		fmt.Println("subcommands: " + subcommands)
+		fmt.Println("run 'stinspect <subcommand> -h' for that subcommand's flags")
+		return flag.ErrHelp
+	}
 
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	traces := fs.String("traces", "", "directory of <cid>_<host>_<rid>.st strace files")
@@ -76,11 +103,27 @@ func run(args []string) error {
 	stream := fs.Bool("stream", false, "bounded-memory streaming pass (dfg, stats, variants, info, footprint): never materializes the event-log")
 	window := fs.Int("window", 0, "streaming mode: max cases resident at once (>= 1; omit for 2x parallelism)")
 	ashards := fs.Int("ashards", 0, "streaming mode: analysis shards, concurrent fold workers whose partials merge exactly (>= 1; omit for GOMAXPROCS)")
+	scopedSyms := fs.Bool("scoped-syms", false, "scope a fresh symbol table to this run's ingestion pass instead of the process-wide table (identical output; bounds retention in long-lived embeddings)")
 	if err := fs.Parse(rest); err != nil {
-		return err
+		return cliutil.Usage(err)
 	}
 	if err := validateCountFlags(fs, "j", "window", "ashards"); err != nil {
 		return err
+	}
+
+	// One scoped symbol universe per run: every backend of this
+	// invocation interns into it, and it dies with the process (or, in
+	// a long-lived embedding following this pattern, with the pass).
+	var syms *stinspector.SymbolTable
+	if *scopedSyms {
+		syms = stinspector.NewSymbolTable()
+	}
+	parseOpts := func(window int) stinspector.ParseOptions {
+		opts := stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs, Window: window}
+		if syms != nil {
+			opts = stinspector.WithSymbolTable(opts, syms)
+		}
+		return opts
 	}
 
 	openStream := func() (stinspector.Source, error) {
@@ -94,21 +137,21 @@ func run(args []string) error {
 		var err error
 		switch {
 		case nsrc > 1:
-			return nil, fmt.Errorf("-traces, -archive and -dxt are mutually exclusive")
+			return nil, usagef("-traces, -archive and -dxt are mutually exclusive")
 		case *traces != "":
-			src, err = stinspector.StreamStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs, Window: *window})
+			src, err = stinspector.StreamStraceDir(*traces, parseOpts(*window))
 		case *archivePath != "":
-			src, err = stinspector.StreamArchive(*archivePath, *jobs, *window)
+			src, err = stinspector.StreamArchiveScoped(*archivePath, *jobs, *window, syms)
 		case *dxtPath != "":
 			var f *os.File
 			f, err = os.Open(*dxtPath)
 			if err != nil {
 				return nil, err
 			}
-			src, err = stinspector.StreamDXT(*cid, f, *jobs, *window)
+			src, err = stinspector.StreamDXTScoped(*cid, f, *jobs, *window, syms)
 			f.Close()
 		default:
-			return nil, fmt.Errorf("need -traces DIR, -archive FILE or -dxt FILE")
+			return nil, usagef("need -traces DIR, -archive FILE or -dxt FILE")
 		}
 		if err != nil {
 			return nil, err
@@ -135,7 +178,7 @@ func run(args []string) error {
 		switch cmd {
 		case "dfg", "stats", "variants", "info", "footprint":
 		default:
-			return fmt.Errorf("subcommand %q needs the in-memory event-log; drop -stream", cmd)
+			return usagef("subcommand %q needs the in-memory event-log; drop -stream", cmd)
 		}
 		m, err := parseMapping(*mapping)
 		if err != nil {
@@ -192,21 +235,21 @@ func run(args []string) error {
 		}
 		switch {
 		case nsrc > 1:
-			return nil, fmt.Errorf("-traces, -archive and -dxt are mutually exclusive")
+			return nil, usagef("-traces, -archive and -dxt are mutually exclusive")
 		case *traces != "":
-			in, err = stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs})
+			in, err = stinspector.FromStraceDir(*traces, parseOpts(0))
 		case *archivePath != "":
-			in, err = stinspector.FromArchiveParallel(*archivePath, *jobs)
+			in, err = stinspector.FromArchiveScoped(*archivePath, *jobs, syms)
 		case *dxtPath != "":
 			var f *os.File
 			f, err = os.Open(*dxtPath)
 			if err != nil {
 				return nil, err
 			}
-			in, err = stinspector.FromDXTParallel(*cid, f, *jobs)
+			in, err = stinspector.FromDXTScoped(*cid, f, *jobs, syms)
 			f.Close()
 		default:
-			return nil, fmt.Errorf("need -traces DIR, -archive FILE or -dxt FILE")
+			return nil, usagef("need -traces DIR, -archive FILE or -dxt FILE")
 		}
 		if err != nil {
 			return nil, err
@@ -253,7 +296,7 @@ func run(args []string) error {
 
 	case "dist":
 		if *activity == "" {
-			return fmt.Errorf("dist needs -activity")
+			return usagef("dist needs -activity")
 		}
 		in, err := load()
 		if err != nil {
@@ -293,7 +336,7 @@ func run(args []string) error {
 
 	case "timeline":
 		if *activity == "" {
-			return fmt.Errorf("timeline needs -activity")
+			return usagef("timeline needs -activity")
 		}
 		in, err := load()
 		if err != nil {
@@ -310,7 +353,7 @@ func run(args []string) error {
 
 	case "compare":
 		if *green == "" {
-			return fmt.Errorf("compare needs -green CID[,CID...]")
+			return usagef("compare needs -green CID[,CID...]")
 		}
 		in, err := load()
 		if err != nil {
@@ -370,9 +413,9 @@ func run(args []string) error {
 
 	case "archive":
 		if *traces == "" || *out == "" {
-			return fmt.Errorf("archive needs -traces DIR and -o FILE")
+			return usagef("archive needs -traces DIR and -o FILE")
 		}
-		in, err := stinspector.FromStraceDir(*traces, stinspector.ParseOptions{Strict: !*lenient, Parallelism: *jobs})
+		in, err := stinspector.FromStraceDir(*traces, parseOpts(0))
 		if err != nil {
 			return err
 		}
@@ -391,7 +434,7 @@ func run(args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("unknown subcommand %q", cmd)
+		return usagef("unknown subcommand %q (want one of: %s)", cmd, subcommands)
 	}
 }
 
@@ -422,11 +465,11 @@ func runStreamed(cmd string, res *stinspector.StreamResult, format string) error
 		fmt.Print(stinspector.NewFootprint(res.DFG).String())
 		return nil
 	case "info":
-		fmt.Printf("%d cases, %d events, %d activities (streamed; peak %d cases resident)\n",
-			res.Cases, res.Events, len(res.Stats.Activities()), res.PeakResident)
+		fmt.Printf("%d cases, %d events, %d activities (streamed; peak %d cases resident; %d run symbols)\n",
+			res.Cases, res.Events, len(res.Stats.Activities()), res.PeakResident, res.Symbols)
 		return nil
 	default:
-		return fmt.Errorf("subcommand %q needs the in-memory event-log; drop -stream", cmd)
+		return usagef("subcommand %q needs the in-memory event-log; drop -stream", cmd)
 	}
 }
 
@@ -447,7 +490,7 @@ func validateCountFlags(fs *flag.FlagSet, names ...string) error {
 		}
 		v, convErr := strconv.Atoi(f.Value.String())
 		if convErr != nil || v < 1 {
-			err = fmt.Errorf("-%s must be at least 1 (got %s); omit the flag for the default", f.Name, f.Value)
+			err = usagef("-%s must be at least 1 (got %s); omit the flag for the default", f.Name, f.Value)
 		}
 	})
 	return err
@@ -459,13 +502,13 @@ func parseMapping(s string) (stinspector.Mapping, error) {
 	case strings.HasPrefix(s, "topdirs:"):
 		n, err := strconv.Atoi(strings.TrimPrefix(s, "topdirs:"))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad mapping %q", s)
+			return nil, usagef("bad mapping %q", s)
 		}
 		return stinspector.CallTopDirs{Depth: n}, nil
 	case strings.HasPrefix(s, "file:"):
 		n, err := strconv.Atoi(strings.TrimPrefix(s, "file:"))
 		if err != nil || n < 1 {
-			return nil, fmt.Errorf("bad mapping %q", s)
+			return nil, usagef("bad mapping %q", s)
 		}
 		return stinspector.CallFileName{Keep: n}, nil
 	case strings.HasPrefix(s, "env:"):
@@ -482,16 +525,16 @@ func parseMapping(s string) (stinspector.Mapping, error) {
 		for _, rule := range strings.Split(spec, ",") {
 			prefix, v, ok := strings.Cut(rule, "=")
 			if !ok || prefix == "" || v == "" {
-				return nil, fmt.Errorf("bad env rule %q (want PREFIX=VAR)", rule)
+				return nil, usagef("bad env rule %q (want PREFIX=VAR)", rule)
 			}
 			vars = append(vars, stinspector.PrefixVar{Prefix: prefix, Var: v})
 		}
 		if len(vars) == 0 {
-			return nil, fmt.Errorf("env mapping needs at least one rule")
+			return nil, usagef("env mapping needs at least one rule")
 		}
 		return stinspector.NewEnvMapping(depth, vars...), nil
 	default:
-		return nil, fmt.Errorf("unknown mapping %q (want topdirs:N, file:N or env:...)", s)
+		return nil, usagef("unknown mapping %q (want topdirs:N, file:N or env:...)", s)
 	}
 }
 

@@ -7,8 +7,11 @@ import (
 	"testing"
 
 	"stinspector"
+	"stinspector/internal/cliutil"
+	"stinspector/internal/intern"
 	"stinspector/internal/lssim"
 	"stinspector/internal/strace"
+	"stinspector/internal/synth"
 )
 
 // demoDir writes the ls / ls -l traces into a temp directory.
@@ -169,6 +172,94 @@ func TestRunStreamSharded(t *testing.T) {
 	for _, cmd := range []string{"dfg", "stats", "variants", "info", "footprint"} {
 		if err := run([]string{cmd, "-traces", dir, "-stream", "-ashards", "4"}); err != nil {
 			t.Errorf("%s -stream -ashards 4: %v", cmd, err)
+		}
+	}
+}
+
+// TestRunScopedSyms: -scoped-syms drives the scoped-symbol-table path
+// end to end, in-memory and streamed, over the strace and archive
+// backends.
+func TestRunScopedSyms(t *testing.T) {
+	dir := demoDir(t)
+	sta := filepath.Join(t.TempDir(), "scoped.sta")
+	if err := run([]string{"archive", "-traces", dir, "-o", sta, "-scoped-syms"}); err != nil {
+		t.Fatalf("archive -scoped-syms: %v", err)
+	}
+	for _, args := range [][]string{
+		{"dfg", "-traces", dir, "-scoped-syms"},
+		{"dfg", "-traces", dir, "-stream", "-scoped-syms"},
+		{"stats", "-archive", sta, "-scoped-syms"},
+		{"info", "-archive", sta, "-stream", "-scoped-syms", "-j", "2", "-window", "3", "-ashards", "2"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// TestRunUsageExitCodes is the table-driven flag-validation suite:
+// command-line mistakes — including -scoped-syms combined with invalid
+// -j/-window/-ashards values — must surface as usage errors (exit 2),
+// runtime failures as plain errors (exit 1), success as 0.
+func TestRunUsageExitCodes(t *testing.T) {
+	dir := demoDir(t)
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"ok", []string{"info", "-traces", dir}, 0},
+		{"ok scoped", []string{"info", "-traces", dir, "-scoped-syms"}, 0},
+		{"help request", []string{"dfg", "-h"}, 0},
+		{"top-level help", []string{"-h"}, 0},
+		{"top-level help word", []string{"help"}, 0},
+		{"missing subcommand", []string{}, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"unknown flag", []string{"dfg", "-traces", dir, "-no-such-flag"}, 2},
+		{"no source", []string{"dfg"}, 2},
+		{"two sources", []string{"dfg", "-traces", dir, "-archive", "x.sta"}, 2},
+		{"bad mapping", []string{"dfg", "-traces", dir, "-map", "bogus"}, 2},
+		{"scoped with bad -j", []string{"dfg", "-traces", dir, "-scoped-syms", "-j", "0"}, 2},
+		{"scoped with bad -window", []string{"dfg", "-traces", dir, "-stream", "-scoped-syms", "-window", "-1"}, 2},
+		{"scoped with bad -ashards", []string{"dfg", "-traces", dir, "-stream", "-scoped-syms", "-ashards", "0"}, 2},
+		{"scoped stream unsupported", []string{"percase", "-traces", dir, "-stream", "-scoped-syms"}, 2},
+		{"dist without activity", []string{"dist", "-traces", dir}, 2},
+		{"compare without green", []string{"compare", "-traces", dir}, 2},
+		{"archive without output", []string{"archive", "-traces", dir}, 2},
+		{"runtime failure", []string{"dfg", "-traces", "/no/such/dir"}, 1},
+		{"runtime failure scoped", []string{"dfg", "-traces", "/no/such/dir", "-scoped-syms"}, 1},
+	}
+	for _, tc := range cases {
+		err := run(tc.args)
+		if got := cliutil.ExitCode(err); got != tc.exit {
+			t.Errorf("%s: run(%v) -> exit %d (err %v), want %d", tc.name, tc.args, got, err, tc.exit)
+		}
+	}
+}
+
+// TestRunScopedSymsDefaultUntouched pins the retention contract at the
+// CLI layer over a novel vocabulary: every subcommand invoked with
+// -scoped-syms — the archive consolidation path included, which once
+// silently dropped the flag — must leave the process-wide symbol table
+// exactly as it found it.
+func TestRunScopedSymsDefaultUntouched(t *testing.T) {
+	dir := t.TempDir()
+	if err := strace.WriteDir(dir, synth.WideLog("cli-scoped", 4, 50, 9)); err != nil {
+		t.Fatal(err)
+	}
+	sta := filepath.Join(t.TempDir(), "scoped.sta")
+	for _, args := range [][]string{
+		{"archive", "-traces", dir, "-o", sta, "-scoped-syms"},
+		{"info", "-traces", dir, "-scoped-syms"},
+		{"dfg", "-traces", dir, "-stream", "-scoped-syms"},
+		{"stats", "-archive", sta, "-scoped-syms"},
+	} {
+		d0 := intern.Default.Len()
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		if got := intern.Default.Len(); got != d0 {
+			t.Errorf("run(%v) grew intern.Default: %d -> %d symbols", args, d0, got)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	"stinspector/internal/intern"
@@ -20,6 +21,52 @@ type Reader struct {
 	closer  io.Closer
 	entries []indexEntry
 	byID    map[trace.CaseID]int
+	syms    *intern.Table // nil = intern.Default
+	// caches pools per-worker decode caches over syms when scoped, so
+	// concurrent section decodes stay warm across sections. The pool
+	// lives and dies with the reader, which is what keeps a scoped
+	// table collectable once the reader is dropped; Default-bound
+	// caches use the process-wide intern pool instead.
+	caches sync.Pool
+}
+
+// SetSyms scopes subsequent case decodes to the given symbol table
+// (nil restores the process-wide intern.Default). Scope a table per
+// reader when decoding archives with unbounded path vocabularies in a
+// long-lived process: dropping the reader and its decoded cases then
+// makes every interned string collectable. Decoded events are
+// identical either way. Not safe to call concurrently with decodes.
+func (r *Reader) SetSyms(t *intern.Table) {
+	if t == intern.Default {
+		// Normalize so an explicit Default takes the pooled-cache path,
+		// exactly like nil.
+		t = nil
+	}
+	r.syms = t
+}
+
+// getCache hands a decode worker a cache over the reader's symbol
+// table; return it with putCache. A pooled cache bound to a previous
+// SetSyms table is discarded, not reused, so rebinding a reader can
+// never alias symbols across tables.
+func (r *Reader) getCache() *intern.Cache {
+	if r.syms == nil {
+		return intern.CacheFor(nil)
+	}
+	if c, ok := r.caches.Get().(*intern.Cache); ok && c.Table() == r.syms {
+		return c
+	}
+	return intern.NewCache(r.syms)
+}
+
+func (r *Reader) putCache(c *intern.Cache) {
+	if r.syms == nil {
+		intern.PutCache(c)
+		return
+	}
+	if c.Table() == r.syms {
+		r.caches.Put(c)
+	}
 }
 
 // Open opens an STA file for random access.
@@ -172,7 +219,9 @@ func (r *Reader) readEntry(ent indexEntry) (*trace.Case, error) {
 	if _, err := r.src.ReadAt(section, int64(ent.offset)); err != nil {
 		return nil, err
 	}
-	return decodeCase(section, ent.id)
+	cache := r.getCache()
+	defer r.putCache(cache)
+	return decodeCase(section, ent.id, cache)
 }
 
 // ReadAll loads the full event-log, decoding case sections concurrently
@@ -214,11 +263,19 @@ func ReadLog(path string) (*trace.EventLog, error) {
 
 // ReadLogParallel is ReadLog with an explicit decode-worker bound.
 func ReadLogParallel(path string, parallelism int) (*trace.EventLog, error) {
+	return ReadLogParallelSyms(path, parallelism, nil)
+}
+
+// ReadLogParallelSyms is ReadLogParallel decoding through a scoped
+// symbol table (nil means intern.Default) — the materializing
+// counterpart of StreamLogSyms.
+func ReadLogParallelSyms(path string, parallelism int, t *intern.Table) (*trace.EventLog, error) {
 	r, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
+	r.SetSyms(t)
 	return r.ReadAllParallel(parallelism)
 }
 
@@ -226,21 +283,28 @@ func ReadLogParallel(path string, parallelism int) (*trace.EventLog, error) {
 // parallelism and resident-case window. The returned source owns the
 // file: Close releases it.
 func StreamLog(path string, parallelism, window int) (source.Source, error) {
+	return StreamLogSyms(path, parallelism, window, nil)
+}
+
+// StreamLogSyms is StreamLog decoding through a scoped symbol table
+// (nil means intern.Default) — the streaming entry point for passes
+// that own their symbol universe.
+func StreamLogSyms(path string, parallelism, window int, t *intern.Table) (source.Source, error) {
 	r, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
+	r.SetSyms(t)
 	return source.WithCloser(r.Stream(parallelism, window), r), nil
 }
 
 // decodeCase parses and verifies one case section. The per-case string
 // dictionary (call names, file paths) and the case identity are
-// canonicalized through the process-wide symbol table, so decoding N
+// canonicalized through the caller's symbol cache — fronting either
+// the process-wide table or the reader's scoped one — so decoding N
 // cases that share a path vocabulary retains one string per distinct
 // value instead of one per case.
-func decodeCase(section []byte, want trace.CaseID) (*trace.Case, error) {
-	cache := intern.GetCache()
-	defer intern.PutCache(cache)
+func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.Case, error) {
 	c := &cursor{b: section}
 	bodyLen, err := c.uvarint()
 	if err != nil {

@@ -1,0 +1,80 @@
+package archive
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"stinspector/internal/intern"
+	"stinspector/internal/trace"
+)
+
+// scopedTestLog builds a tiny log with paths unique to this test, so
+// any growth of the process-wide table is attributable to the decode
+// under test.
+func scopedTestLog(t *testing.T) *trace.EventLog {
+	t.Helper()
+	evs := []trace.Event{
+		{PID: 1, Call: "openat", Start: 0, Dur: time.Microsecond, FP: "/scoped-archive-test/a.bin", Size: trace.SizeUnknown},
+		{PID: 1, Call: "read", Start: 2 * time.Microsecond, Dur: time.Microsecond, FP: "/scoped-archive-test/a.bin", Size: 512},
+		{PID: 1, Call: "close", Start: 4 * time.Microsecond, Dur: time.Microsecond, FP: "/scoped-archive-test/a.bin", Size: trace.SizeUnknown},
+	}
+	c := trace.NewCase(trace.CaseID{CID: "scoped-archive-test", Host: "h0", RID: 0}, evs)
+	return trace.MustNewEventLog(c)
+}
+
+// TestReaderScopedSyms: SetSyms scopes section decodes to the given
+// table; Default does not grow, and the decoded log is identical to a
+// Default-table decode.
+func TestReaderScopedSyms(t *testing.T) {
+	log := scopedTestLog(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	open := func() *Reader {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	want, err := open().ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab := intern.NewTable()
+	r := open()
+	r.SetSyms(tab)
+	d0 := intern.Default.Len()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intern.Default.Len() != d0 {
+		t.Errorf("scoped decode grew Default: %d -> %d", d0, intern.Default.Len())
+	}
+	if tab.Len() < 4 {
+		t.Errorf("scoped table holds %d symbols, want the archive vocabulary", tab.Len())
+	}
+	if !reflect.DeepEqual(got.Cases()[0].Events, want.Cases()[0].Events) {
+		t.Errorf("scoped decode differs from Default decode")
+	}
+
+	// SetSyms(nil) restores Default-table decoding, and an explicit
+	// Default normalizes to the same pooled-cache path.
+	r.SetSyms(nil)
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	r.SetSyms(intern.Default)
+	if r.syms != nil {
+		t.Error("SetSyms(intern.Default) not normalized to the pooled nil path")
+	}
+	if _, err := r.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"stinspector/internal/archive"
 	"stinspector/internal/dfg"
 	"stinspector/internal/dxt"
+	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/render"
 	"stinspector/internal/stats"
@@ -62,7 +63,15 @@ func FromArchive(path string) (*Inspector, error) {
 // FromArchiveParallel is FromArchive with an explicit decode-worker
 // bound; 0 means GOMAXPROCS, 1 decodes sequentially.
 func FromArchiveParallel(path string, parallelism int) (*Inspector, error) {
-	el, err := archive.ReadLogParallel(path, parallelism)
+	return FromArchiveSyms(path, parallelism, nil)
+}
+
+// FromArchiveSyms is FromArchiveParallel decoding through a scoped
+// symbol table (nil means intern.Default): the pass owns its symbol
+// universe, so dropping the inspector makes the archive's strings
+// collectable instead of accumulating in the process-wide table.
+func FromArchiveSyms(path string, parallelism int, t *intern.Table) (*Inspector, error) {
+	el, err := archive.ReadLogParallelSyms(path, parallelism, t)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +89,13 @@ func FromDXT(cid string, r io.Reader) (*Inspector, error) {
 // FromDXTParallel is FromDXT with an explicit worker bound for the
 // per-case construction step; 0 means GOMAXPROCS, 1 builds sequentially.
 func FromDXTParallel(cid string, r io.Reader, parallelism int) (*Inspector, error) {
-	records, err := dxt.Parse(r)
+	return FromDXTSyms(cid, r, parallelism, nil)
+}
+
+// FromDXTSyms is FromDXTParallel canonicalizing the dump's header
+// strings through a scoped symbol table (nil means intern.Default).
+func FromDXTSyms(cid string, r io.Reader, parallelism int, t *intern.Table) (*Inspector, error) {
+	records, err := dxt.ParseSyms(r, t)
 	if err != nil {
 		return nil, err
 	}

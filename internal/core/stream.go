@@ -26,6 +26,13 @@ type StreamResult struct {
 	// not yet consumed at once (0 if the source does not track it) —
 	// the observable behind the O(batch) memory guarantee.
 	PeakResident int
+	// Symbols counts the distinct activity symbols resident in the
+	// run's merged symbol table at finalization — the size of the
+	// symbol universe this pass owned. Every run creates that table
+	// afresh and drops it with the builders, so the count is a per-run
+	// observable (compare intern.Table.Len for the parse-side table a
+	// scoped ingestion pass owns).
+	Symbols int
 }
 
 // AnalyzeStream consumes a case source in a single pass, feeding the
@@ -96,8 +103,8 @@ func (p *shardPartial) mergeInto(dst *shardPartial) {
 // sharded: source.ShardedFold round-robins case blocks to shards
 // workers, each owning its own builder set over a shard-local symbol
 // table, and the shard partials are merged in shard order afterwards —
-// the shard tables remapped through shard 0's, the counts folded as
-// integer sums. Because every aggregate merge is exact — integer
+// the shard tables remapped into shard 0's (itself created fresh for
+// this run), the counts folded as integer sums. Because every aggregate merge is exact — integer
 // counts and sums, sorted case-list interleaves, a totally-ordered
 // max-concurrency sweep, and a symbol remap that preserves strings
 // exactly — the result is byte-identical to the sequential fold at
@@ -127,13 +134,21 @@ func AnalyzeStreamParallel(src source.Source, m pm.Mapping, shards int, joinErro
 		res.Cases += p.cases
 		res.Events += p.evs
 	}
-	first := parts[0]
+	// The run owns its merged symbol universe: shard 0's table — created
+	// fresh for this run, like every partial — survives as the merge
+	// target, and shards 1..n remap into it in shard order (for one
+	// shard there is nothing to merge at all). The remap preserves
+	// strings exactly, so the merged assignment — and therefore every
+	// artifact — is byte-identical to folding sequentially, and the
+	// whole universe dies with the StreamResult.
+	run := parts[0]
 	for _, p := range parts[1:] {
-		p.mergeInto(first)
+		p.mergeInto(run)
 	}
-	res.ActivityLog = first.pmB.Finalize()
-	res.DFG = first.dfgB.Finalize()
-	res.Stats = first.stC.Finalize()
+	res.Symbols = run.sm.Acts().Len()
+	res.ActivityLog = run.pmB.Finalize()
+	res.DFG = run.dfgB.Finalize()
+	res.Stats = run.stC.Finalize()
 	res.PeakResident = source.PeakResident(src)
 	return res, nil
 }

@@ -62,12 +62,22 @@ func (e *ParseError) Error() string {
 
 // Parse reads a darshan-dxt-parser text stream into records. Header
 // comments set the current file/rank context; access lines inherit it.
+// Header strings canonicalize through the process-wide intern.Default;
+// ParseSyms scopes them to a per-pass table instead.
 func Parse(r io.Reader) ([]Record, error) {
-	// Canonicalize the header strings (file names, hostnames) through
-	// the process-wide symbol table: every record of a group shares the
-	// interned string, and paths seen by other ingestion backends
-	// resolve to the same allocation.
-	cache := intern.GetCache()
+	return ParseSyms(r, nil)
+}
+
+// ParseSyms is Parse canonicalizing the header strings (file names,
+// hostnames) through the given symbol table — nil means the
+// process-wide intern.Default, under which every record of a group
+// shares the interned string and paths seen by other ingestion
+// backends resolve to the same allocation. A scoped table
+// (intern.NewTable) confines an unbounded file-name vocabulary to the
+// pass: drop the records and the table together and the strings are
+// collectable.
+func ParseSyms(r io.Reader, t *intern.Table) ([]Record, error) {
+	cache := intern.CacheFor(t)
 	defer intern.PutCache(cache)
 	var (
 		records  []Record

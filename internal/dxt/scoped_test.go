@@ -1,0 +1,40 @@
+package dxt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stinspector/internal/intern"
+)
+
+// TestParseSymsScoped: ParseSyms canonicalizes the dump's header
+// strings (file name, hostname) through the scoped table only, and the
+// parsed records are identical to a Default-table parse.
+func TestParseSymsScoped(t *testing.T) {
+	const dump = `# DXT, file_id: 7, file_name: /scoped-dxt-test/out.dat
+# DXT, rank: 0, hostname: scoped-dxt-host
+# Module    Rank  Wt/Rd  Segment          Offset       Length    Start(s)      End(s)
+ X_POSIX       0  write        0               0         4096      0.0010      0.0020
+`
+	want, err := Parse(strings.NewReader(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tab := intern.NewTable()
+	d0 := intern.Default.Len()
+	got, err := ParseSyms(strings.NewReader(dump), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intern.Default.Len() != d0 {
+		t.Errorf("scoped parse grew Default: %d -> %d", d0, intern.Default.Len())
+	}
+	if tab.Len() != 3 { // "", file name, hostname
+		t.Errorf("scoped table Len = %d, want 3", tab.Len())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("scoped records differ:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -22,7 +22,10 @@
 // for the lifetime of the table. That is the right trade for the
 // paper's model (tiny call vocabulary, heavily repeated paths); callers
 // with unbounded vocabularies should scope a Table to the ingestion
-// pass rather than use the process-wide Default.
+// pass rather than use the process-wide Default: construct one with
+// NewTable, bind per-worker caches to it with CacheFor, and drop it
+// with the pass's results — every string it interned becomes
+// collectable, while Default stays untouched.
 package intern
 
 import (

@@ -2,8 +2,10 @@ package intern
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestTableBasics: dense ids, round trips, the pre-interned empty
@@ -204,5 +206,119 @@ func TestGetPutCache(t *testing.T) {
 	defer PutCache(c2)
 	if got := c2.Canon("read"); got != s {
 		t.Errorf("canonical string changed across pool round trip")
+	}
+}
+
+// TestCacheFor: pooled caches bind to the requested table — nil means
+// Default, a scoped table gets its own map, and interning through a
+// scoped cache never touches Default.
+func TestCacheFor(t *testing.T) {
+	if c := CacheFor(nil); c.Table() != Default {
+		t.Errorf("CacheFor(nil) bound to %p, want Default", c.Table())
+	} else {
+		PutCache(c)
+	}
+	tab := NewTable()
+	d0 := Default.Len()
+	c := CacheFor(tab)
+	if c.Table() != tab {
+		t.Fatalf("CacheFor bound to %p, want the scoped table", c.Table())
+	}
+	y := c.Intern("/cachefor-test-only/novel/path")
+	if got := tab.Str(y); got != "/cachefor-test-only/novel/path" {
+		t.Errorf("scoped round trip = %q", got)
+	}
+	if got := c.CanonBytes([]byte("/cachefor-test-only/other")); got != "/cachefor-test-only/other" {
+		t.Errorf("scoped CanonBytes = %q", got)
+	}
+	if tab.Len() != 3 { // "", and the two paths
+		t.Errorf("scoped table Len = %d, want 3", tab.Len())
+	}
+	if Default.Len() != d0 {
+		t.Errorf("scoped interning grew Default: %d -> %d", d0, Default.Len())
+	}
+	PutCache(c)
+}
+
+// TestPutCacheScopedHygiene is the pool-hygiene regression test: a
+// pooled cache must not pin a scoped table (or its strings, via the
+// cache map) after the pass that owned the table puts the cache back.
+// Default-bound caches, by contrast, keep their warm map — Default
+// lives for the process anyway.
+func TestPutCacheScopedHygiene(t *testing.T) {
+	tab := NewTable()
+	c := CacheFor(tab)
+	c.Intern("/hygiene-test/a")
+	PutCache(c)
+	if c.t != nil {
+		t.Errorf("scoped cache still references its table after PutCache")
+	}
+	if c.m != nil {
+		t.Errorf("scoped cache still holds its map (and the table's strings) after PutCache")
+	}
+
+	d := GetCache()
+	d.Intern("read")
+	PutCache(d)
+	if d.t != Default || d.m == nil {
+		t.Errorf("Default-bound cache was stripped on PutCache; the warm-vocabulary reuse is gone")
+	}
+}
+
+// TestScopedTableCollectableAfterPut proves the hygiene fix end to
+// end: once a pass puts its caches back and drops its table, the table
+// is garbage — nothing in the package-level pool keeps it alive.
+func TestScopedTableCollectableAfterPut(t *testing.T) {
+	collected := make(chan struct{})
+	func() {
+		tab := NewTable()
+		runtime.SetFinalizer(tab, func(*Table) { close(collected) })
+		c := CacheFor(tab)
+		for i := 0; i < 1000; i++ {
+			c.Intern(fmt.Sprintf("/collectable-test/%d", i))
+		}
+		PutCache(c)
+	}()
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	t.Fatal("scoped table never collected after PutCache — the pool pins it")
+}
+
+// TestCacheForNeverCrossesTables pins the no-aliasing contract of the
+// cache pool: scoped tables never receive a pooled cache (each get is
+// freshly bound, since the pool holds only Default-bound caches), so
+// interleaving passes over different tables — with puts in between —
+// can never serve a cache whose map belongs to another table.
+func TestCacheForNeverCrossesTables(t *testing.T) {
+	a, b := NewTable(), NewTable()
+	for i := 0; i < 4; i++ {
+		ca := CacheFor(a)
+		if ca.Table() != a {
+			t.Fatalf("cache bound to %p, want table a", ca.Table())
+		}
+		ya := ca.Intern("shared-key")
+		if got := a.Str(ya); got != "shared-key" {
+			t.Fatalf("table a round trip = %q", got)
+		}
+		PutCache(ca)
+		cb := CacheFor(b)
+		if cb.Table() != b {
+			t.Fatalf("cache bound to %p, want table b", cb.Table())
+		}
+		yb := cb.Intern("shared-key")
+		if got := b.Str(yb); got != "shared-key" {
+			t.Fatalf("table b round trip = %q", got)
+		}
+		PutCache(cb)
+	}
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Errorf("table lens = %d, %d, want 2, 2", a.Len(), b.Len())
 	}
 }

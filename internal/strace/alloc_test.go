@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"stinspector/internal/intern"
 	"stinspector/internal/race"
 	"stinspector/internal/trace"
 )
@@ -18,8 +19,12 @@ import (
 // interned, arena-backed parser runs near 1.1 — the line copy plus
 // amortized slice growth. The ceiling is set at 2 to leave headroom
 // for scanner-buffer variance without ever letting the old behaviour
-// back in. Skipped under -race: the detector's instrumented allocator
-// makes the count meaningless.
+// back in. The budget holds over both symbol-table modes: the
+// process-wide Default (warm pooled caches) and a scoped per-pass
+// table, whose caches are deliberately stripped when pooled — the
+// per-file map rebuild is a handful of allocations amortized over
+// thousands of events. Skipped under -race: the detector's
+// instrumented allocator makes the count meaningless.
 func TestParseAllocBudget(t *testing.T) {
 	if race.Enabled {
 		t.Skip("allocation counts are not meaningful under -race")
@@ -45,24 +50,34 @@ func TestParseAllocBudget(t *testing.T) {
 	}
 	data := buf.String()
 
-	// Warm the interner and the pools so the measurement reflects the
-	// steady state the ingestion workers run in.
-	if _, err := ParseCase(id, strings.NewReader(data), Options{Calls: map[string]bool{}}); err != nil {
-		t.Fatal(err)
-	}
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"default-table", Options{Calls: map[string]bool{}}},
+		{"scoped-table", Options{Calls: map[string]bool{}, Syms: intern.NewTable()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			// Warm the interner and the pools so the measurement
+			// reflects the steady state the ingestion workers run in.
+			if _, err := ParseCase(id, strings.NewReader(data), mode.opts); err != nil {
+				t.Fatal(err)
+			}
 
-	avg := testing.AllocsPerRun(10, func() {
-		c, err := ParseCase(id, strings.NewReader(data), Options{Calls: map[string]bool{}})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if c.Len() != events {
-			t.Fatalf("parsed %d events, want %d", c.Len(), events)
-		}
-	})
-	perEvent := avg / events
-	t.Logf("ParseCase: %.0f allocs for %d events = %.3f allocs/event", avg, events, perEvent)
-	if perEvent > 2.0 {
-		t.Errorf("allocs/event = %.3f, budget 2.0 — the zero-alloc parse path regressed", perEvent)
+			avg := testing.AllocsPerRun(10, func() {
+				c, err := ParseCase(id, strings.NewReader(data), mode.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.Len() != events {
+					t.Fatalf("parsed %d events, want %d", c.Len(), events)
+				}
+			})
+			perEvent := avg / events
+			t.Logf("ParseCase (%s): %.0f allocs for %d events = %.3f allocs/event", mode.name, avg, events, perEvent)
+			if perEvent > 2.0 {
+				t.Errorf("allocs/event = %.3f, budget 2.0 — the zero-alloc parse path regressed", perEvent)
+			}
+		})
 	}
 }

@@ -51,6 +51,15 @@ type Options struct {
 	// 2×Parallelism. The materializing ReadDir/ReadFS honor it too; it
 	// only changes peak memory during ingestion, never the result.
 	Window int
+	// Syms selects the symbol table Call/FP/CID/Host strings are
+	// canonicalized through. Nil means the process-wide intern.Default,
+	// which is append-only for the life of the process — fine for the
+	// paper's bounded vocabulary. A long-lived service ingesting an
+	// unbounded path vocabulary should scope a table to the pass
+	// (intern.NewTable) so dropping the pass's results makes its
+	// strings collectable. The parsed events are identical either way;
+	// only string retention differs.
+	Syms *intern.Table
 }
 
 func (o Options) callWanted(name string) bool {
@@ -69,7 +78,7 @@ func (o Options) callWanted(name string) bool {
 // events are ordered by start time (strace preserves event order, and the
 // merge assigns each merged call its original start timestamp).
 func EventsFromRecords(id trace.CaseID, records []Record, opts Options) ([]trace.Event, error) {
-	cache := intern.GetCache()
+	cache := intern.CacheFor(opts.Syms)
 	defer intern.PutCache(cache)
 	return eventsFromRecords(id, records, opts, cache)
 }

@@ -88,11 +88,11 @@ func readRecordsInto(records []Record, r io.Reader, lenient bool, ab *argBuilder
 
 // ParseCase parses a single trace stream into a case with the given
 // identity. Call names, file paths and the case identity strings are
-// canonicalized through the process-wide symbol table
-// (intern.Default), so the resulting events share one string per
-// distinct value instead of allocating per event.
+// canonicalized through the symbol table opts.Syms selects (the
+// process-wide intern.Default when nil), so the resulting events share
+// one string per distinct value instead of allocating per event.
 func ParseCase(id trace.CaseID, r io.Reader, opts Options) (*trace.Case, error) {
-	cache := intern.GetCache()
+	cache := intern.CacheFor(opts.Syms)
 	defer intern.PutCache(cache)
 	id.CID = cache.Canon(id.CID)
 	id.Host = cache.Canon(id.Host)

@@ -22,6 +22,27 @@ var calls = []string{"read", "write", "openat", "lseek", "close"}
 // hosts cycling h0..h3) with perCase events each, named by cid. The
 // same (cid, nCases, perCase, seed) always yields the identical log.
 func Log(cid string, nCases, perCase int, seed int64) *trace.EventLog {
+	return generate(cid, nCases, perCase, seed, func(c, i int) string {
+		return fmt.Sprintf("/scratch/job/rank%03d/part%02d.bin", c, i%8)
+	})
+}
+
+// WideLog is Log with an unbounded-vocabulary path model: every event
+// touches its own distinct file, so a log of N events carries N
+// distinct paths. It is the adversarial workload for the symbol
+// layer's retention properties — ingesting it through the process-wide
+// table would grow that table by the full vocabulary, which is exactly
+// what a scoped per-pass table must confine.
+func WideLog(cid string, nCases, perCase int, seed int64) *trace.EventLog {
+	return generate(cid, nCases, perCase, seed, func(c, i int) string {
+		return fmt.Sprintf("/scratch/wide/rank%03d/obj%06d.bin", c, i)
+	})
+}
+
+// generate is the shared event model of Log and WideLog; fp chooses
+// the path of case c's i-th event, which is the only thing the two
+// workloads differ in.
+func generate(cid string, nCases, perCase int, seed int64, fp func(c, i int) string) *trace.EventLog {
 	rng := rand.New(rand.NewSource(seed))
 	cases := make([]*trace.Case, nCases)
 	for c := 0; c < nCases; c++ {
@@ -34,7 +55,7 @@ func Log(cid string, nCases, perCase int, seed int64) *trace.EventLog {
 				Call:  calls[(c+i)%len(calls)],
 				Start: start,
 				Dur:   time.Duration(5+rng.Intn(400)) * time.Microsecond,
-				FP:    fmt.Sprintf("/scratch/job/rank%03d/part%02d.bin", c, i%8),
+				FP:    fp(c, i),
 				Size:  int64(rng.Intn(1 << 18)),
 			}
 		}

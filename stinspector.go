@@ -28,6 +28,7 @@ import (
 	"stinspector/internal/core"
 	"stinspector/internal/dfg"
 	"stinspector/internal/dxt"
+	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/render"
 	"stinspector/internal/source"
@@ -142,6 +143,30 @@ type Inspector = core.Inspector
 // sequential); the merged event-log is deterministic either way.
 type ParseOptions = strace.Options
 
+// SymbolTable is a scoped symbol universe for one ingestion pass. The
+// ingestion backends deduplicate every call name, file path and case
+// identity string through a symbol table; by default that is a single
+// process-wide, append-only table — the right trade for bounded
+// vocabularies, but a long-lived service ingesting unbounded distinct
+// paths would grow it forever. Scoping a table to a pass
+// (NewSymbolTable + WithSymbolTable or the *Scoped constructors) keeps
+// the pass's vocabulary out of the process-wide table: drop the pass's
+// results and the table together and every string it interned becomes
+// collectable. Artifacts are byte-identical either way. Len reports
+// the resident symbol count.
+type SymbolTable = intern.Table
+
+// NewSymbolTable returns an empty per-pass symbol table.
+func NewSymbolTable() *SymbolTable { return intern.NewTable() }
+
+// WithSymbolTable binds parse options to a scoped symbol table, so
+// every string the pass interns lives and dies with st instead of
+// accumulating in the process-wide default table.
+func WithSymbolTable(opts ParseOptions, st *SymbolTable) ParseOptions {
+	opts.Syms = st
+	return opts
+}
+
 // FromStraceDir parses every *.st trace file under dir, fanning per-file
 // parsing out to opts.Parallelism workers.
 func FromStraceDir(dir string, opts ParseOptions) (*Inspector, error) {
@@ -158,6 +183,13 @@ func FromArchiveParallel(path string, parallelism int) (*Inspector, error) {
 	return core.FromArchiveParallel(path, parallelism)
 }
 
+// FromArchiveScoped is FromArchiveParallel decoding through the scoped
+// symbol table st, so the archive's string vocabulary is collectable
+// once the inspector is dropped.
+func FromArchiveScoped(path string, parallelism int, st *SymbolTable) (*Inspector, error) {
+	return core.FromArchiveSyms(path, parallelism, st)
+}
+
 // FromDXT ingests a Darshan DXT text dump, the alternative
 // instrumentation source of the paper's Section II remark.
 func FromDXT(cid string, r io.Reader) (*Inspector, error) { return core.FromDXT(cid, r) }
@@ -166,6 +198,12 @@ func FromDXT(cid string, r io.Reader) (*Inspector, error) { return core.FromDXT(
 // construction (0 = GOMAXPROCS, 1 = sequential).
 func FromDXTParallel(cid string, r io.Reader, parallelism int) (*Inspector, error) {
 	return core.FromDXTParallel(cid, r, parallelism)
+}
+
+// FromDXTScoped is FromDXTParallel canonicalizing the dump's header
+// strings through the scoped symbol table st.
+func FromDXTScoped(cid string, r io.Reader, parallelism int, st *SymbolTable) (*Inspector, error) {
+	return core.FromDXTSyms(cid, r, parallelism, st)
 }
 
 // FromEventLog wraps an event-log with the default mapping f̂.
@@ -251,12 +289,27 @@ func StreamArchive(path string, parallelism, window int) (Source, error) {
 	return archive.StreamLog(path, parallelism, window)
 }
 
+// StreamArchiveScoped is StreamArchive decoding through the scoped
+// symbol table st: the pass owns its symbol universe, so closing the
+// source and dropping its cases makes the archive's strings
+// collectable.
+func StreamArchiveScoped(path string, parallelism, window int, st *SymbolTable) (Source, error) {
+	return archive.StreamLogSyms(path, parallelism, window, st)
+}
+
 // StreamDXT streams the cases of a Darshan DXT text dump. The record
 // text is parsed up front (DXT interleaves cases, so grouping needs the
 // whole dump), but the per-case event construction runs lazily in the
 // stream's workers.
 func StreamDXT(cid string, r io.Reader, parallelism, window int) (Source, error) {
-	records, err := dxt.Parse(r)
+	return StreamDXTScoped(cid, r, parallelism, window, nil)
+}
+
+// StreamDXTScoped is StreamDXT canonicalizing the dump's header
+// strings through the scoped symbol table st (nil means the
+// process-wide default).
+func StreamDXTScoped(cid string, r io.Reader, parallelism, window int, st *SymbolTable) (Source, error) {
+	records, err := dxt.ParseSyms(r, st)
 	if err != nil {
 		return nil, err
 	}

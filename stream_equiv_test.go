@@ -82,16 +82,25 @@ func streamArtifacts(t *testing.T, src Source, shards int, joinErrors bool) stri
 
 // equivCheck compares the streaming artifacts against the in-memory
 // baseline for every ingestion-parallelism/window/analysis-shard
-// combination.
-func equivCheck(t *testing.T, kind, want string, open func(parallelism, window int) Source) {
+// combination, each once over the process-wide symbol table and once
+// over a scoped table created fresh for that run (syms non-nil). A
+// scoped pass must be byte-identical to the Default-table pass:
+// symbol tables only decide string retention, never content.
+func equivCheck(t *testing.T, kind, want string, open func(parallelism, window int, syms *SymbolTable) Source) {
 	t.Helper()
-	for _, p := range equivParallelisms() {
-		for _, w := range []int{0, 1, 3} {
-			for _, shards := range equivParallelisms() {
-				got := streamArtifacts(t, open(p, w), shards, true)
-				if got != want {
-					t.Errorf("%s: streaming artifacts differ from in-memory at parallelism=%d window=%d ashards=%d.\n--- streaming ---\n%s\n--- in-memory ---\n%s",
-						kind, p, w, shards, got, want)
+	for _, scoped := range []bool{false, true} {
+		for _, p := range equivParallelisms() {
+			for _, w := range []int{0, 1, 3} {
+				for _, shards := range equivParallelisms() {
+					var syms *SymbolTable
+					if scoped {
+						syms = NewSymbolTable()
+					}
+					got := streamArtifacts(t, open(p, w, syms), shards, true)
+					if got != want {
+						t.Errorf("%s: streaming artifacts differ from in-memory at scoped=%v parallelism=%d window=%d ashards=%d.\n--- streaming ---\n%s\n--- in-memory ---\n%s",
+							kind, scoped, p, w, shards, got, want)
+					}
 				}
 			}
 		}
@@ -114,8 +123,8 @@ func TestStreamEquivalenceStraceDir(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := inMemoryArtifacts(el)
-	equivCheck(t, "strace", want, func(p, w int) Source {
-		src, err := strace.StreamFS(fsys, ".", strace.Options{Strict: true, Parallelism: p, Window: w})
+	equivCheck(t, "strace", want, func(p, w int, syms *SymbolTable) Source {
+		src, err := strace.StreamFS(fsys, ".", strace.Options{Strict: true, Parallelism: p, Window: w, Syms: syms})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +148,12 @@ func TestStreamEquivalenceArchive(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := inMemoryArtifacts(el)
-	equivCheck(t, "archive", want, func(p, w int) Source { return r.Stream(p, w) })
+	equivCheck(t, "archive", want, func(p, w int, syms *SymbolTable) Source {
+		// Runs are sequential, so rebinding the shared reader's decode
+		// table per run is safe; nil restores Default.
+		r.SetSyms(syms)
+		return r.Stream(p, w)
+	})
 }
 
 // TestStreamEquivalenceDXT: Darshan DXT case construction.
@@ -158,7 +172,19 @@ func TestStreamEquivalenceDXT(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := inMemoryArtifacts(el)
-	equivCheck(t, "dxt", want, func(p, w int) Source { return dxt.Stream("dxt", records, p, w) })
+	equivCheck(t, "dxt", want, func(p, w int, syms *SymbolTable) Source {
+		recs := records
+		if syms != nil {
+			// DXT interning happens at Parse time: a scoped run
+			// re-parses the dump through its own table.
+			var err error
+			recs, err = dxt.ParseSyms(bytes.NewReader(buf.Bytes()), syms)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dxt.Stream("dxt", recs, p, w)
+	})
 }
 
 // TestStreamEquivalenceFiltered: the streaming event filter must match
