@@ -83,8 +83,13 @@ func run(args []string) error {
 	jobs := fs.Int("j", 0, "parallel ingestion workers (-ingest mode; 0 = GOMAXPROCS)")
 	window := fs.Int("window", 0, "streaming pass: max cases resident (-ingest mode; 0 = 2x workers)")
 	ashards := fs.Int("ashards", 0, "analysis fold shards (-ingest mode; 0 = GOMAXPROCS)")
-	jsonPath := fs.String("json", "", "write the -ingest throughput table as JSON to this path (e.g. BENCH_ingest.json)")
+	jsonPath := fs.String("json", "", "write the -ingest throughput table or -matrix report as JSON to this path")
 	scopedSyms := fs.Bool("scoped-syms", false, "-ingest mode: scope a fresh symbol table to each timed pass instead of the process-wide table, and report resident symbols")
+	matrix := fs.Bool("matrix", false, "run the scenario matrix: profile × backend × shards × scoped-syms sweep")
+	mcases := fs.Int("mcases", 8, "matrix mode: cases per cell")
+	mevents := fs.Int("mevents", 120, "matrix mode: events per case")
+	profilesCSV := fs.String("profiles", "", "matrix mode: comma-separated profile subset (default all; see tracegen -list-profiles)")
+	against := fs.String("against", "", "matrix mode: diff the fresh sweep against this committed baseline JSON")
 	if err := fs.Parse(args); err != nil {
 		return cliutil.Usage(err)
 	}
@@ -100,6 +105,28 @@ func run(args []string) error {
 		return usagef("-ingest must not be negative (got %d); omit it to run figures", *ingest)
 	}
 
+	if *matrix && *ingest > 0 {
+		return usagef("-matrix and -ingest are mutually exclusive")
+	}
+	if *matrix {
+		if *scopedSyms {
+			return usagef("-scoped-syms has no effect in -matrix mode: the sweep includes a scoped axis")
+		}
+		// The shard axis defaults to a fixed 4 (not GOMAXPROCS) so the
+		// committed baseline's cell keys match on any machine.
+		shards := *ashards
+		if shards <= 0 {
+			shards = 4
+		}
+		return matrixBench(*profilesCSV, *mcases, *mevents, shards, *seed, *jsonPath, *against)
+	}
+	if *against != "" {
+		return usagef("-against requires -matrix mode")
+	}
+	if *profilesCSV != "" {
+		return usagef("-profiles requires -matrix mode")
+	}
+
 	if *ingest > 0 {
 		if *events < 1 {
 			return usagef("-events must be at least 1 in -ingest mode (got %d)", *events)
@@ -107,7 +134,7 @@ func run(args []string) error {
 		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms)
 	}
 	if *jsonPath != "" {
-		return usagef("-json requires -ingest mode")
+		return usagef("-json requires -ingest or -matrix mode")
 	}
 	if *scopedSyms {
 		return usagef("-scoped-syms requires -ingest mode")

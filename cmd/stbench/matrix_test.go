@@ -1,0 +1,171 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stinspector/internal/cliutil"
+	"stinspector/internal/synth/profiles"
+)
+
+// TestRunMatrixJSON drives -matrix at tiny scale and checks the report
+// schema: full profile × backend × shards × scoped coverage with
+// deterministic structural fields.
+func TestRunMatrixJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_matrix.json")
+	err := run([]string{"-matrix", "-mcases", "3", "-mevents", "24", "-ashards", "2", "-json", path})
+	if err != nil {
+		t.Fatalf("run(-matrix): %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report matrixReport
+	if err := json.Unmarshal(b, &report); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	wantCells := len(profiles.All()) * len(matrixBackends) * 2 /*shards*/ * 2 /*scoped*/
+	if len(report.Cells) != wantCells {
+		t.Fatalf("cells = %d, want %d", len(report.Cells), wantCells)
+	}
+	if report.MCases != 3 || report.MEvents != 24 || report.Shards != 2 || report.Command == "" {
+		t.Errorf("report header not reproducible: %+v", report)
+	}
+	keys := map[string]bool{}
+	for _, c := range report.Cells {
+		if keys[c.key()] {
+			t.Errorf("duplicate cell %s", c.key())
+		}
+		keys[c.key()] = true
+		if c.Cases < 1 || c.Events < 1 || c.Bytes < 1 || c.Variants < 1 || c.WallNS <= 0 {
+			t.Errorf("cell %s has degenerate fields: %+v", c.key(), c)
+		}
+		if c.Backend == "dxt" {
+			// The dump format carries only sized transfer calls.
+			if c.Events >= 3*24 {
+				t.Errorf("dxt cell %s delivered %d events, expected fewer than the full %d", c.key(), c.Events, 3*24)
+			}
+		} else if c.Events != 3*24 {
+			t.Errorf("cell %s delivered %d events, want %d", c.key(), c.Events, 3*24)
+		}
+	}
+}
+
+// TestMatrixStructuralDeterminism: two sweeps at the same parameters
+// must agree on every structural field — the property that lets CI diff
+// a fresh run against the committed baseline.
+func TestMatrixStructuralDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	args := []string{"-matrix", "-profiles", "hostileargs,burst", "-mcases", "3", "-mevents", "20", "-json"}
+	if err := run(append(args[:len(args):len(args)], p1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args[:len(args):len(args)], p2)); err != nil {
+		t.Fatal(err)
+	}
+	var a, b matrixReport
+	for path, dst := range map[string]*matrixReport{p1: &a, p2: &b} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		x, y := a.Cells[i], b.Cells[i]
+		if x.key() != y.key() || x.Cases != y.Cases || x.Events != y.Events ||
+			x.Bytes != y.Bytes || x.Variants != y.Variants || x.Edges != y.Edges ||
+			x.Symbols != y.Symbols {
+			t.Errorf("cell %d structure not deterministic:\n %+v\n %+v", i, x, y)
+		}
+	}
+}
+
+// TestRunMatrixAgainstSelf: a sweep diffed against its own output is
+// structurally identical and exits 0 — the CI step's green path on an
+// unchanged tree.
+func TestRunMatrixAgainstSelf(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	args := []string{"-matrix", "-profiles", "heavytail", "-mcases", "3", "-mevents", "20"}
+	if err := run(append(args[:len(args):len(args)], "-json", path)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args[:len(args):len(args)], "-against", path)); err != nil {
+		t.Errorf("diff against own baseline failed: %v", err)
+	}
+}
+
+// TestRunMatrixAgainstDiverged: a structural divergence (different
+// generation parameters masquerading under the same key space) must
+// fail the diff loudly, not drown in timing noise.
+func TestRunMatrixAgainstDiverged(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "base.json")
+	if err := run([]string{"-matrix", "-profiles", "heavytail", "-mcases", "3", "-mevents", "20", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parameter mismatch: refuse to compare apples to oranges.
+	err := run([]string{"-matrix", "-profiles", "heavytail", "-mcases", "4", "-mevents", "20", "-against", path})
+	if cliutil.ExitCode(err) != 1 {
+		t.Errorf("parameter mismatch: exit %d (err %v), want 1", cliutil.ExitCode(err), err)
+	}
+
+	// Structural divergence: tamper with a deterministic field.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report matrixReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	report.Cells[0].Variants += 7
+	tampered, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-matrix", "-profiles", "heavytail", "-mcases", "3", "-mevents", "20", "-against", path})
+	if cliutil.ExitCode(err) != 1 {
+		t.Errorf("structural divergence: exit %d (err %v), want 1", cliutil.ExitCode(err), err)
+	}
+}
+
+// TestRunMatrixUsageErrors: matrix-mode flag validation.
+func TestRunMatrixUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"matrix with ingest", []string{"-matrix", "-ingest", "4"}},
+		{"matrix with scoped-syms", []string{"-matrix", "-scoped-syms"}},
+		{"against without matrix", []string{"-against", "x.json"}},
+		{"profiles without matrix", []string{"-profiles", "burst"}},
+		{"unknown profile", []string{"-matrix", "-profiles", "nope"}},
+		{"zero mcases", []string{"-matrix", "-mcases", "0"}},
+		{"zero mevents", []string{"-matrix", "-mevents", "0"}},
+	} {
+		err := run(tc.args)
+		if got := cliutil.ExitCode(err); got != 2 {
+			t.Errorf("%s: exit %d (err %v), want 2", tc.name, got, err)
+		}
+	}
+	// A missing baseline file is a runtime failure, not a usage error.
+	err := run([]string{"-matrix", "-profiles", "baseline", "-mcases", "2", "-mevents", "10",
+		"-against", filepath.Join(t.TempDir(), "absent.json")})
+	if got := cliutil.ExitCode(err); got != 1 {
+		t.Errorf("missing baseline: exit %d (err %v), want 1", got, err)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"stinspector"
+	"stinspector/internal/cliutil"
+	"stinspector/internal/synth/profiles"
 )
 
 func TestRunGeneratesDemoTraces(t *testing.T) {
@@ -42,5 +44,73 @@ func TestRunGeneratesDemoTraces(t *testing.T) {
 func TestRunNeedsOutput(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Errorf("no output target accepted")
+	}
+}
+
+// TestRunProfileTraces: -profile writes strace text and an archive that
+// both parse back to the deterministic generator output.
+func TestRunProfileTraces(t *testing.T) {
+	dir := t.TempDir()
+	sta := filepath.Join(t.TempDir(), "ht.sta")
+	args := []string{"-profile", "heavytail", "-cases", "5", "-events", "40",
+		"-seed", "9", "-cid", "htx", "-outdir", dir, "-archive", sta}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	p, _ := profiles.Lookup("heavytail")
+	want := p.Generate("htx", 5, 40, 9)
+
+	in, err := stinspector.FromStraceDir(dir, stinspector.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("parse back: %v", err)
+	}
+	if in.EventLog().NumEvents() != want.NumEvents() {
+		t.Errorf("dir events = %d, want %d", in.EventLog().NumEvents(), want.NumEvents())
+	}
+	el, err := stinspector.ReadArchive(sta)
+	if err != nil {
+		t.Fatalf("archive: %v", err)
+	}
+	if el.NumEvents() != want.NumEvents() || el.NumCases() != want.NumCases() {
+		t.Errorf("archive = %d events/%d cases, want %d/%d",
+			el.NumEvents(), el.NumCases(), want.NumEvents(), want.NumCases())
+	}
+	for _, c := range want.Cases() {
+		got := el.Case(c.ID)
+		if got == nil || len(got.Events) != len(c.Events) {
+			t.Errorf("case %s not reproduced", c.ID)
+		}
+	}
+}
+
+func TestRunListProfiles(t *testing.T) {
+	// -list-profiles succeeds without any output target.
+	if err := run([]string{"-list-profiles"}); err != nil {
+		t.Errorf("list-profiles: %v", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown profile", []string{"-profile", "nope", "-outdir", "x"}},
+		{"bad cases", []string{"-profile", "burst", "-cases", "0", "-outdir", "x"}},
+		{"underscore cid", []string{"-profile", "burst", "-cid", "a_b", "-outdir", "x"}},
+		{"host with profile", []string{"-profile", "burst", "-host", "h", "-outdir", "x"}},
+		{"stray operand", []string{"-outdir", "x", "extra"}},
+		{"no output", []string{"-profile", "burst"}},
+	} {
+		err := run(tc.args)
+		if cliutil.ExitCode(err) != 2 {
+			t.Errorf("%s: exit = %d (err %v), want 2", tc.name, cliutil.ExitCode(err), err)
+		}
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	if got := cliutil.ExitCode(run([]string{"-h"})); got != 0 {
+		t.Errorf("-h exit = %d, want 0", got)
 	}
 }

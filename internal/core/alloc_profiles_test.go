@@ -1,0 +1,55 @@
+package core
+
+// Analysis-side allocation gate over the adversarial generator
+// profiles: TestAnalyzeAllocBudget measures only the friendly synth
+// shape, but the fold's per-event costs must also stay pinned when the
+// inputs turn hostile. The recorded ceilings differ by what the input
+// inherently costs:
+//
+//   - hostileargs (pathological strings, tiny vocabulary) folds at
+//     ~0.06 allocs/event — string content is irrelevant to the
+//     symbolized fold, so it shares the friendly shape's 0.25 ceiling.
+//   - heavytail (Zipf path vocabulary, ~half the events touch one-off
+//     paths) folds at ~0.95 allocs/event: every analysis run owns a
+//     fresh scoped symbol table, so an unbounded vocabulary pays
+//     first-sight interning per distinct path on every run, by design.
+//     That cost is proportional to vocabulary size, not events, and
+//     the 1.5 ceiling pins it — a per-EVENT allocation sneaking into
+//     the hot loop would land at 2+ and still fail.
+
+import (
+	"testing"
+
+	"stinspector/internal/pm"
+	"stinspector/internal/source"
+	"stinspector/internal/synth/profiles"
+)
+
+func TestAnalyzeAllocBudgetProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	for _, tc := range []struct {
+		profile string
+		ceiling float64
+	}{
+		{"hostileargs", 0.25},
+		{"heavytail", 1.5},
+	} {
+		t.Run(tc.profile, func(t *testing.T) {
+			p, ok := profiles.Lookup(tc.profile)
+			if !ok {
+				t.Fatalf("profile %s missing", tc.profile)
+			}
+			el := p.Generate("alloca", 24, 2000, 11)
+			m := pm.CallTopDirs{Depth: 2}
+			// Warm: table growth, pool population.
+			src := source.FromLog(el)
+			if _, err := AnalyzeStreamParallel(src, m, 1, true); err != nil {
+				t.Fatal(err)
+			}
+			src.Close()
+			checkAnalyzeAllocBudgetCeiling(t, el, m, tc.ceiling)
+		})
+	}
+}

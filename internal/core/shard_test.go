@@ -193,6 +193,15 @@ func TestAnalyzeAllocBudget(t *testing.T) {
 // -race (instrumented allocator).
 func checkAnalyzeAllocBudget(t *testing.T, el *trace.EventLog, m pm.Mapping) {
 	t.Helper()
+	checkAnalyzeAllocBudgetCeiling(t, el, m, 0.25)
+}
+
+// checkAnalyzeAllocBudgetCeiling is the gate with an explicit ceiling,
+// for inputs whose inherent per-run cost differs from the friendly
+// shape (an unbounded path vocabulary pays first-sight interning into
+// the run's own symbol table on every run, by design).
+func checkAnalyzeAllocBudgetCeiling(t *testing.T, el *trace.EventLog, m pm.Mapping, ceiling float64) {
+	t.Helper()
 	if race.Enabled {
 		t.Log("allocation budget skipped under -race")
 		return
@@ -212,8 +221,8 @@ func checkAnalyzeAllocBudget(t *testing.T, el *trace.EventLog, m pm.Mapping) {
 	perEvent := float64(m1.Mallocs-m0.Mallocs) / float64(el.NumEvents())
 	t.Logf("sequential analysis fold: %d allocs for %d events = %.4f allocs/event",
 		m1.Mallocs-m0.Mallocs, el.NumEvents(), perEvent)
-	if perEvent > 0.25 {
-		t.Errorf("analysis allocs/event = %.4f, budget 0.25 — the zero-alloc fold regressed", perEvent)
+	if perEvent > ceiling {
+		t.Errorf("analysis allocs/event = %.4f, budget %.2f — the zero-alloc fold regressed", perEvent, ceiling)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"stinspector/internal/intern"
 	"stinspector/internal/race"
+	"stinspector/internal/synth/profiles"
 	"stinspector/internal/trace"
 )
 
@@ -79,5 +80,70 @@ func TestParseAllocBudget(t *testing.T) {
 				t.Errorf("allocs/event = %.3f, budget 2.0 — the zero-alloc parse path regressed", perEvent)
 			}
 		})
+	}
+}
+
+// TestParseAllocBudgetProfiles extends the parse-side allocation gate
+// from the friendly synth shape to the adversarial generator profiles:
+// a Zipf vocabulary (heavytail) and pathological quoted/escaped
+// argument strings (hostileargs) must not reopen a per-event
+// allocation path. Measured steady state sits near 1.1 allocs/event
+// for both — the same line-copy cost as the friendly shape — so both
+// share the recorded 2.0 ceiling. Skipped under -race (instrumented
+// allocator).
+func TestParseAllocBudgetProfiles(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	for _, name := range []string{"heavytail", "hostileargs"} {
+		p, ok := profiles.Lookup(name)
+		if !ok {
+			t.Fatalf("profile %s missing", name)
+		}
+		log := p.Generate("allocp", 2, 2000, 3)
+		type renderedCase struct {
+			id   trace.CaseID
+			data string
+		}
+		var cs []renderedCase
+		events := 0
+		for _, c := range log.Cases() {
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteCase(c); err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, renderedCase{c.ID, buf.String()})
+			events += c.Len()
+		}
+
+		for _, mode := range []struct {
+			name string
+			opts Options
+		}{
+			{"default-table", Options{Strict: true}},
+			{"scoped-table", Options{Strict: true, Syms: intern.NewTable()}},
+		} {
+			t.Run(name+"/"+mode.name, func(t *testing.T) {
+				parseAll := func() {
+					for _, c := range cs {
+						got, err := ParseCase(c.id, strings.NewReader(c.data), mode.opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got.Len() != log.Case(c.id).Len() {
+							t.Fatalf("case %s: parsed %d events, want %d", c.id, got.Len(), log.Case(c.id).Len())
+						}
+					}
+				}
+				parseAll() // warm the interner and pools
+				avg := testing.AllocsPerRun(10, parseAll)
+				perEvent := avg / float64(events)
+				t.Logf("ParseCase (%s, %s): %.0f allocs for %d events = %.3f allocs/event",
+					name, mode.name, avg, events, perEvent)
+				if perEvent > 2.0 {
+					t.Errorf("allocs/event = %.3f, budget 2.0 — hostile inputs reopened a per-event allocation path", perEvent)
+				}
+			})
+		}
 	}
 }

@@ -269,6 +269,20 @@ func parseReturn(rec *Record, s string) error {
 		}
 	}
 
+	// An fd-annotated return consumes the whole token before the errno
+	// split is attempted: the annotated path may itself contain spaces
+	// (even errno lookalikes — "3</dir/-1 EAGAIN (...)>" is a valid -y
+	// return), and splitting it at the first space would misread the
+	// path tail as a failure. A genuine errno token never parses as an
+	// fd path (its integer prefix is "-1" or "?", never a bare fd).
+	if fd, path, ok := SplitFDPath(s); ok {
+		rec.Ret = s
+		rec.RetInt = int64(fd)
+		rec.RetOK = true
+		rec.RetPath = path
+		return nil
+	}
+
 	// Errno and its explanation: "-1 EBADF (Bad file descriptor)",
 	// "? ERESTARTSYS (To be restarted if SA_RESTART is set)".
 	if i := strings.IndexByte(s, ' '); i >= 0 {

@@ -1,0 +1,318 @@
+package profiles_test
+
+import (
+	"strings"
+	"testing"
+
+	"stinspector/internal/synth/profiles"
+	"stinspector/internal/trace"
+)
+
+// renderIDs builds the deterministic text rendering used by the
+// determinism properties: the log's cases in CaseID order with every
+// event attribute spelled out. (The strace-text rendering is covered
+// separately by the round-trip tests; this form also pins attributes
+// strace text cannot carry, like sizes on non-transfer calls.)
+func renderLog(l *trace.EventLog) string {
+	var b strings.Builder
+	for _, c := range l.Cases() {
+		b.WriteString(c.ID.String())
+		b.WriteByte('\n')
+		for _, e := range c.Events {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestRegistry(t *testing.T) {
+	names := profiles.Names()
+	want := []string{"baseline", "heavytail", "burst", "hostileargs", "widevocab", "multitenant"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("Names()[%d] = %q, want %q", i, names[i], n)
+		}
+		p, ok := profiles.Lookup(n)
+		if !ok || p.Name != n || p.Desc == "" {
+			t.Errorf("Lookup(%q) = %+v, %v", n, p, ok)
+		}
+	}
+	if _, ok := profiles.Lookup("no-such-profile"); ok {
+		t.Error("Lookup accepted an unknown profile")
+	}
+	if len(profiles.All()) != len(want) {
+		t.Errorf("All() has %d profiles, want %d", len(profiles.All()), len(want))
+	}
+}
+
+// TestProfileDeterminism: the same (profile, cid, nCases, perCase,
+// seed) must yield the byte-identical log — the property the committed
+// BENCH_matrix.json baselines and the fuzz corpus seeds rely on.
+func TestProfileDeterminism(t *testing.T) {
+	for _, p := range profiles.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			a := renderLog(p.Generate("det", 7, 50, 42))
+			b := renderLog(p.Generate("det", 7, 50, 42))
+			if a != b {
+				t.Fatalf("two generations with identical inputs differ")
+			}
+			if a == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}
+
+// TestProfileSeedsDistinct: distinct seeds must yield distinct logs —
+// a generator that ignores its seed cannot populate a matrix sweep.
+func TestProfileSeedsDistinct(t *testing.T) {
+	for _, p := range profiles.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			a := renderLog(p.Generate("seed", 5, 40, 1))
+			b := renderLog(p.Generate("seed", 5, 40, 2))
+			if a == b {
+				t.Fatalf("seeds 1 and 2 generated the identical log")
+			}
+		})
+	}
+}
+
+// TestProfileShape: every profile delivers exactly nCases × perCase
+// events, all calls within the strace extraction defaults (so no event
+// is silently dropped on parse-back), sizes only on transfer calls and
+// microsecond-resolution timestamps (so strace text round-trips
+// exactly).
+func TestProfileShape(t *testing.T) {
+	transfer := map[string]bool{"read": true, "write": true, "pread64": true, "pwrite64": true}
+	ioCalls := map[string]bool{
+		"read": true, "write": true, "pread64": true, "pwrite64": true,
+		"openat": true, "lseek": true, "fsync": true, "close": true,
+	}
+	for _, p := range profiles.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			const nCases, perCase = 6, 48
+			l := p.Generate("shape", nCases, perCase, 9)
+			if l.NumCases() != nCases {
+				t.Errorf("cases = %d, want %d", l.NumCases(), nCases)
+			}
+			if l.NumEvents() != nCases*perCase {
+				t.Errorf("events = %d, want %d", l.NumEvents(), nCases*perCase)
+			}
+			l.Events(func(e trace.Event) {
+				if !ioCalls[e.Call] {
+					t.Errorf("call %q outside the strace extraction defaults", e.Call)
+				}
+				if transfer[e.Call] != e.HasSize() {
+					t.Errorf("%s(%s): HasSize = %v, want %v", e.Call, e.FP, e.HasSize(), transfer[e.Call])
+				}
+				if e.Start%1000 != 0 || e.Dur%1000 != 0 {
+					t.Errorf("%s: sub-microsecond timestamp start=%d dur=%d", e.Call, e.Start, e.Dur)
+				}
+				if e.FP == "" {
+					t.Errorf("%s: empty path", e.Call)
+				}
+				if strings.ContainsAny(e.FP, "\n\r") {
+					t.Errorf("path %q contains a line break", e.FP)
+				}
+			})
+			if err := l.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+// TestHeavytailHistogram checks that the heavytail vocabulary is
+// actually heavy-tailed: the hottest handful of paths absorb a large
+// share of all events while a long tail of paths is touched exactly
+// once — the shape that makes the profile a symbol-table stressor.
+func TestHeavytailHistogram(t *testing.T) {
+	p, _ := profiles.Lookup("heavytail")
+	const nCases, perCase = 8, 400
+	l := p.Generate("ht", nCases, perCase, 7)
+	hist := profiles.Vocabulary(l)
+	total := l.NumEvents()
+
+	if len(hist) < total/10 {
+		t.Fatalf("only %d distinct paths over %d events; vocabulary is not wide", len(hist), total)
+	}
+	top := 10
+	if top > len(hist) {
+		top = len(hist)
+	}
+	var head int
+	for _, pc := range hist[:top] {
+		head += pc.Count
+	}
+	if head*4 < total {
+		t.Errorf("top %d paths cover %d/%d events, want >= 25%% — head is not heavy", top, head, total)
+	}
+	ones := 0
+	for _, pc := range hist {
+		if pc.Count == 1 {
+			ones++
+		}
+	}
+	if ones*10 < len(hist)*3 {
+		t.Errorf("%d/%d paths are one-hit, want >= 30%% — tail is not long", ones, len(hist))
+	}
+	if hist[0].Count < 20*hist[len(hist)/2].Count {
+		t.Errorf("hottest path count %d < 20x median %d — distribution too flat",
+			hist[0].Count, hist[len(hist)/2].Count)
+	}
+}
+
+// maxOverlap computes the maximum number of simultaneously open
+// closed-open intervals by an endpoint sweep (ends processed before
+// starts at equal timestamps, matching trace.Interval.Overlaps).
+func maxOverlap(l *trace.EventLog) int {
+	type point struct {
+		at    int64
+		delta int
+	}
+	var pts []point
+	l.Events(func(e trace.Event) {
+		pts = append(pts, point{int64(e.Start), +1}, point{int64(e.End()), -1})
+	})
+	// Sort by time; at equal time, ends (-1) first.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && (pts[j].at < pts[j-1].at || (pts[j].at == pts[j-1].at && pts[j].delta < pts[j-1].delta)); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	depth, max := 0, 0
+	for _, p := range pts {
+		depth += p.delta
+		if depth > max {
+			max = depth
+		}
+	}
+	return max
+}
+
+// TestBurstDepth: the burst profile must reach at least its declared
+// overlap depth — the invariant that makes it a max-concurrency heap
+// stressor rather than just another sequential trace.
+func TestBurstDepth(t *testing.T) {
+	p, _ := profiles.Lookup("burst")
+	for _, tc := range []struct{ nCases, perCase int }{{4, 32}, {9, 20}, {3, 5}} {
+		l := p.Generate("b", tc.nCases, tc.perCase, 3)
+		want := profiles.BurstDepth(tc.nCases, tc.perCase)
+		if want < tc.nCases {
+			t.Fatalf("declared depth %d below case count %d", want, tc.nCases)
+		}
+		if got := maxOverlap(l); got < want {
+			t.Errorf("nCases=%d perCase=%d: max overlap %d, declared target %d",
+				tc.nCases, tc.perCase, got, want)
+		}
+	}
+}
+
+// TestWidevocabDistinctPaths: exactly one distinct path per event —
+// the unbounded-vocabulary invariant behind the retention gates.
+func TestWidevocabDistinctPaths(t *testing.T) {
+	p, _ := profiles.Lookup("widevocab")
+	l := p.Generate("wv", 7, 60, 5)
+	if got, want := len(profiles.Vocabulary(l)), l.NumEvents(); got != want {
+		t.Errorf("distinct paths = %d, want %d (one per event)", got, want)
+	}
+}
+
+// TestHostileargsVocabulary: every generated path is drawn from the
+// published hostile vocabulary, and a generation at realistic size
+// exercises all of it.
+func TestHostileargsVocabulary(t *testing.T) {
+	p, _ := profiles.Lookup("hostileargs")
+	want := make(map[string]bool)
+	for _, s := range profiles.HostilePaths() {
+		want[s] = true
+	}
+	l := p.Generate("ha", 8, 100, 11)
+	seen := make(map[string]bool)
+	l.Events(func(e trace.Event) {
+		if !want[e.FP] {
+			t.Errorf("path %q not in the hostile vocabulary", e.FP)
+		}
+		seen[e.FP] = true
+	})
+	if len(seen) != len(want) {
+		t.Errorf("generation used %d/%d hostile paths", len(seen), len(want))
+	}
+}
+
+// TestMultitenantDisjoint: tenants interleave across cases, each case
+// carries its tenant's CID, and the per-tenant path vocabularies are
+// pairwise disjoint — the stserve isolation shape.
+func TestMultitenantDisjoint(t *testing.T) {
+	p, _ := profiles.Lookup("multitenant")
+	const nCases = 10
+	l := p.Generate("mt", nCases, 40, 13)
+	vocab := make(map[string]map[string]bool) // cid -> paths
+	tenants := make(map[string]bool)
+	for _, c := range l.Cases() {
+		wantCID := profiles.TenantCID("mt", c.ID.RID%profiles.MultitenantTenants)
+		if c.ID.CID != wantCID {
+			t.Errorf("case rid=%d has cid %q, want %q", c.ID.RID, c.ID.CID, wantCID)
+		}
+		if strings.Contains(c.ID.CID, "_") {
+			t.Errorf("cid %q contains '_', which breaks trace file-name parsing", c.ID.CID)
+		}
+		tenants[c.ID.CID] = true
+		if vocab[c.ID.CID] == nil {
+			vocab[c.ID.CID] = make(map[string]bool)
+		}
+		for _, e := range c.Events {
+			vocab[c.ID.CID][e.FP] = true
+		}
+	}
+	if len(tenants) != profiles.MultitenantTenants {
+		t.Fatalf("saw %d tenants, want %d", len(tenants), profiles.MultitenantTenants)
+	}
+	cids := make([]string, 0, len(vocab))
+	for cid := range vocab {
+		cids = append(cids, cid)
+	}
+	for i, a := range cids {
+		for _, b := range cids[i+1:] {
+			for path := range vocab[a] {
+				if vocab[b][path] {
+					t.Errorf("path %q shared between tenants %s and %s", path, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestVocabularyOrdering: the histogram helper sorts by descending
+// count with a deterministic tie-break, so invariant checks built on
+// it are stable.
+func TestVocabularyOrdering(t *testing.T) {
+	c := trace.NewCase(trace.CaseID{CID: "v", Host: "h", RID: 1}, []trace.Event{
+		{Call: "read", Start: 0, Dur: 1000, FP: "/b", Size: 1},
+		{Call: "read", Start: 2000, Dur: 1000, FP: "/a", Size: 1},
+		{Call: "read", Start: 4000, Dur: 1000, FP: "/b", Size: 2},
+	})
+	hist := profiles.Vocabulary(trace.MustNewEventLog(c))
+	if len(hist) != 2 || hist[0].Path != "/b" || hist[0].Count != 2 || hist[1].Path != "/a" {
+		t.Errorf("histogram = %+v", hist)
+	}
+}
+
+var sink string
+
+// BenchmarkGenerate pins the generators' own cost so matrix sweeps can
+// budget for it.
+func BenchmarkGenerate(b *testing.B) {
+	for _, p := range profiles.All() {
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := p.Generate("bench", 8, 200, 17)
+				sink = l.Cases()[0].Events[0].FP
+			}
+		})
+	}
+}

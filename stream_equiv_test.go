@@ -25,6 +25,7 @@ import (
 	"stinspector/internal/source"
 	"stinspector/internal/strace"
 	"stinspector/internal/synth"
+	"stinspector/internal/synth/profiles"
 	"stinspector/internal/trace"
 )
 
@@ -185,6 +186,86 @@ func TestStreamEquivalenceDXT(t *testing.T) {
 		}
 		return dxt.Stream("dxt", recs, p, w)
 	})
+}
+
+// TestStreamEquivalenceProfiles sweeps the full equivalence matrix over
+// every adversarial generator profile and all three backends: hostile
+// arguments, heavy-tail vocabularies, deep bursts and interleaved
+// tenants must leave the streaming artifacts byte-identical to the
+// in-memory pipeline at every parallelism/window/shard/scoping
+// combination, exactly like the friendly synth shape.
+func TestStreamEquivalenceProfiles(t *testing.T) {
+	for _, p := range profiles.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			log := p.Generate("eqp", 9, 70, 20240924)
+
+			// strace text backend.
+			fsys := fstest.MapFS{}
+			for _, c := range log.Cases() {
+				var buf bytes.Buffer
+				if err := strace.NewWriter(&buf).WriteCase(c); err != nil {
+					t.Fatal(err)
+				}
+				fsys[c.ID.FileName()] = &fstest.MapFile{Data: buf.Bytes()}
+			}
+			el, err := strace.ReadFS(fsys, ".", strace.Options{Strict: true, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			equivCheck(t, p.Name+"/strace", inMemoryArtifacts(el), func(pp, w int, syms *SymbolTable) Source {
+				src, err := strace.StreamFS(fsys, ".", strace.Options{Strict: true, Parallelism: pp, Window: w, Syms: syms})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return src
+			})
+
+			// STA archive backend.
+			var abuf bytes.Buffer
+			if err := archive.Write(&abuf, log); err != nil {
+				t.Fatal(err)
+			}
+			r, err := archive.NewReader(bytes.NewReader(abuf.Bytes()), int64(abuf.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ael, err := r.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			equivCheck(t, p.Name+"/archive", inMemoryArtifacts(ael), func(pp, w int, syms *SymbolTable) Source {
+				r.SetSyms(syms)
+				return r.Stream(pp, w)
+			})
+
+			// DXT backend (the dump only represents sized transfer calls;
+			// equivalence is over the parsed-back records).
+			var dbuf bytes.Buffer
+			if _, err := dxt.Write(&dbuf, log); err != nil {
+				t.Fatal(err)
+			}
+			records, err := dxt.Parse(bytes.NewReader(dbuf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			del, err := dxt.ToEventLogParallel("dxt", records, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			equivCheck(t, p.Name+"/dxt", inMemoryArtifacts(del), func(pp, w int, syms *SymbolTable) Source {
+				recs := records
+				if syms != nil {
+					var err error
+					recs, err = dxt.ParseSyms(bytes.NewReader(dbuf.Bytes()), syms)
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				return dxt.Stream("dxt", recs, pp, w)
+			})
+		})
+	}
 }
 
 // TestStreamEquivalenceFiltered: the streaming event filter must match
