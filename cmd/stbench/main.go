@@ -85,6 +85,9 @@ func run(args []string) error {
 	ashards := fs.Int("ashards", 0, "analysis fold shards (-ingest mode; 0 = GOMAXPROCS)")
 	jsonPath := fs.String("json", "", "write the -ingest throughput table or -matrix report as JSON to this path")
 	scopedSyms := fs.Bool("scoped-syms", false, "-ingest mode: scope a fresh symbol table to each timed pass instead of the process-wide table, and report resident symbols")
+	ckptDir := fs.String("checkpoint", "", "-ingest mode: also time the checkpointed analysis fold, writing snapshots into this directory")
+	ckptEvery := fs.Int("checkpoint-every", 0, "-ingest mode: checkpoint epoch size in cases (0 = one snapshot at the end)")
+	resume := fs.Bool("resume", false, "-ingest mode: resume the checkpointed fold from an existing snapshot in -checkpoint")
 	matrix := fs.Bool("matrix", false, "run the scenario matrix: profile × backend × shards × scoped-syms sweep")
 	mcases := fs.Int("mcases", 8, "matrix mode: cases per cell")
 	mevents := fs.Int("mevents", 120, "matrix mode: events per case")
@@ -127,11 +130,21 @@ func run(args []string) error {
 		return usagef("-profiles requires -matrix mode")
 	}
 
+	if *ckptDir == "" && (*ckptEvery != 0 || *resume) {
+		return usagef("-checkpoint-every and -resume require -checkpoint DIR")
+	}
+	if *ckptEvery < 0 {
+		return usagef("-checkpoint-every must not be negative (got %d); 0 snapshots once at the end", *ckptEvery)
+	}
 	if *ingest > 0 {
 		if *events < 1 {
 			return usagef("-events must be at least 1 in -ingest mode (got %d)", *events)
 		}
-		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms)
+		ckpt := checkpointConfig{dir: *ckptDir, every: *ckptEvery, resume: *resume}
+		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms, ckpt)
+	}
+	if *ckptDir != "" {
+		return usagef("-checkpoint requires -ingest mode")
 	}
 	if *jsonPath != "" {
 		return usagef("-json requires -ingest or -matrix mode")
@@ -211,8 +224,18 @@ func measured(f func() error) (time.Duration, uint64, error) {
 // jsonPath, when non-empty, receives the table as JSON. With scoped
 // true every timed pass owns a fresh symbol table (the
 // long-lived-service configuration) and the report adds the
-// resident-symbol accounting.
-func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string, scoped bool) error {
+// resident-symbol accounting. A non-empty ckpt.dir adds a timed pass
+// through the checkpointed fold, measuring the durability overhead
+// against the plain sharded fold.
+// checkpointConfig carries the -checkpoint/-checkpoint-every/-resume
+// settings into the ingest benchmark.
+type checkpointConfig struct {
+	dir    string
+	every  int
+	resume bool
+}
+
+func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string, scoped bool, ckpt checkpointConfig) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -425,6 +448,37 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 	fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n", fmt.Sprintf("sharded fold (shards=%d)", ashards), apar.Round(time.Millisecond), mevs(apar), aev(aparAllocs))
 	fmt.Printf("analysis speedup: %.2fx\n", aseq.Seconds()/apar.Seconds())
 	fmt.Printf("resident symbols (analysis fold): %d per run\n", parRes.Symbols)
+
+	// Checkpointed section: the same sharded fold with durability on —
+	// an atomic snapshot write every ckpt.every cases. The artifacts
+	// must match the plain fold exactly; the wall-clock delta is the
+	// price of crash safety at this epoch size.
+	if ckpt.dir != "" {
+		var cres *core.StreamResult
+		cw, cAllocs, err := measured(func() error {
+			src := source.FromLog(log)
+			defer src.Close()
+			var err error
+			cres, err = core.AnalyzeStreamCheckpointed(src, pm.CallTopDirs{Depth: 2}, ashards, true,
+				core.CheckpointOptions{Dir: ckpt.dir, Every: ckpt.every, Resume: ckpt.resume})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if cres.Events != nEvents ||
+			cres.ActivityLog.NumVariants() != seqRes.ActivityLog.NumVariants() ||
+			cres.DFG.NumEdges() != seqRes.DFG.NumEdges() {
+			return fmt.Errorf("checkpointed analysis diverged: %d events (want %d), %d/%d variants, %d/%d edges",
+				cres.Events, nEvents,
+				cres.ActivityLog.NumVariants(), seqRes.ActivityLog.NumVariants(),
+				cres.DFG.NumEdges(), seqRes.DFG.NumEdges())
+		}
+		stages = append(stages, stage("analysis_checkpointed", cw, cAllocs, false))
+		fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n",
+			fmt.Sprintf("checkpointed fold (every=%d)", ckpt.every), cw.Round(time.Millisecond), mevs(cw), aev(cAllocs))
+		fmt.Printf("checkpoint overhead vs sharded fold: %.2fx\n", cw.Seconds()/apar.Seconds())
+	}
 
 	if jsonPath != "" {
 		out, err := json.MarshalIndent(stages, "", "  ")

@@ -46,6 +46,44 @@ func TestRunIngestBench(t *testing.T) {
 	}
 }
 
+// TestRunIngestBenchCheckpoint: -checkpoint adds the durable-fold stage
+// to the report, leaves a readable snapshot behind, and -resume over
+// the completed snapshot is a clean no-op run.
+func TestRunIngestBenchCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-ashards", "2",
+		"-checkpoint", dir, "-checkpoint-every", "2", "-json", path})
+	if err != nil {
+		t.Fatalf("run(-ingest -checkpoint): %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []benchStage
+	if err := json.Unmarshal(b, &stages); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range stages {
+		if s.Stage == "analysis_checkpointed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("analysis_checkpointed stage missing from JSON report")
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "checkpoint.sts")); err != nil || fi.Size() == 0 {
+		t.Errorf("checkpoint snapshot missing or empty (err %v)", err)
+	}
+	err = run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-ashards", "2",
+		"-checkpoint", dir, "-checkpoint-every", "2", "-resume"})
+	if err != nil {
+		t.Errorf("run(-ingest -resume): %v", err)
+	}
+}
+
 // TestRunIngestBenchJSON: -json writes the machine-readable stage
 // table with the documented schema.
 func TestRunIngestBenchJSON(t *testing.T) {
@@ -132,6 +170,10 @@ func TestRunUsageExitCodes(t *testing.T) {
 		{"negative -events", []string{"-ingest", "4", "-events", "-1"}, 2},
 		{"zero -events in ingest mode", []string{"-ingest", "4", "-events", "0"}, 2},
 		{"unknown figure", []string{"-fig", "fig99"}, 1},
+		{"checkpoint without ingest", []string{"-checkpoint", "d"}, 2},
+		{"checkpoint-every without checkpoint", []string{"-ingest", "4", "-checkpoint-every", "2"}, 2},
+		{"resume without checkpoint", []string{"-ingest", "4", "-resume"}, 2},
+		{"negative checkpoint-every", []string{"-ingest", "4", "-checkpoint", "d", "-checkpoint-every", "-1"}, 2},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)

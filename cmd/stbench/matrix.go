@@ -5,8 +5,9 @@ package main
 // process-wide symbol tables, and record one JSON row per cell. The
 // generators are deterministic in (profile, cid, cases, events, seed)
 // and the pipeline's artifacts are parallelism-independent, so a cell's
-// structural fields (cases, events, bytes, variants, edges, symbols)
-// are machine-independent and diffable across commits; the timing
+// structural fields (cases, events, bytes, variants, edges, symbols,
+// snapshot size) are machine-independent and diffable across commits;
+// the timing
 // fields are informational trajectory. -against diffs a fresh sweep
 // over a committed baseline: timing drift is reported but never fails,
 // a structural divergence (behavior change) does.
@@ -26,6 +27,7 @@ import (
 	"stinspector/internal/dxt"
 	"stinspector/internal/intern"
 	"stinspector/internal/pm"
+	"stinspector/internal/snapshot"
 	"stinspector/internal/source"
 	"stinspector/internal/strace"
 	"stinspector/internal/synth/profiles"
@@ -57,11 +59,18 @@ type matrixCell struct {
 	Variants int   `json:"variants"`
 	Edges    int   `json:"edges"`
 	Symbols  int   `json:"symbols"`
+	// SnapshotBytes is the size of the cell's STS snapshot — the
+	// canonical encoding of the fold's pre-Finalize state, so it is
+	// structural: a size change means the format or the aggregates
+	// changed.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
 
 	WallNS         int64   `json:"wall_ns"`
 	EventsPerS     float64 `json:"events_per_s"`
 	MBPerS         float64 `json:"mb_per_s"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	SnapEncNS      int64   `json:"snap_enc_ns"`
+	SnapDecNS      int64   `json:"snap_dec_ns"`
 }
 
 func (c matrixCell) key() string {
@@ -180,8 +189,8 @@ func matrixBench(profilesCSV string, mcases, mevents, ashards int, seed int64, j
 		Seed:    seed,
 	}
 
-	fmt.Printf("%-12s %-8s %6s %-7s %7s %8s %9s %8s %6s %12s %14s\n",
-		"PROFILE", "BACKEND", "SHARDS", "SCOPED", "CASES", "EVENTS", "BYTES", "VARIANTS", "EDGES", "WALL", "ALLOCS/EVENT")
+	fmt.Printf("%-12s %-8s %6s %-7s %7s %8s %9s %8s %6s %9s %12s %14s\n",
+		"PROFILE", "BACKEND", "SHARDS", "SCOPED", "CASES", "EVENTS", "BYTES", "VARIANTS", "EDGES", "SNAPSHOT", "WALL", "ALLOCS/EVENT")
 	for _, p := range ps {
 		log := p.Generate("mx", mcases, mevents, seed)
 		for _, backend := range matrixBackends {
@@ -208,6 +217,32 @@ func matrixBench(profilesCSV string, mcases, mevents, ashards int, seed int64, j
 					if err != nil {
 						return fmt.Errorf("%s/%s shards=%d scoped=%v: %v", p.Name, backend, shards, scoped, err)
 					}
+					// Snapshot leg: fold the same cell into its durable
+					// STS form and time the encode/decode round trip;
+					// the re-encode must reproduce the bytes (canonical
+					// encoding), and the size lands in the structural
+					// diff.
+					snapSrc, err := open(syms)
+					if err != nil {
+						return fmt.Errorf("%s/%s shards=%d scoped=%v snapshot: %v", p.Name, backend, shards, scoped, err)
+					}
+					snap, err := core.AnalyzeStreamSnapshot(snapSrc, pm.CallTopDirs{Depth: 2}, shards, true)
+					snapSrc.Close()
+					if err != nil {
+						return fmt.Errorf("%s/%s shards=%d scoped=%v snapshot fold: %v", p.Name, backend, shards, scoped, err)
+					}
+					t0 := time.Now()
+					enc := snapshot.Encode(snap)
+					encNS := time.Since(t0).Nanoseconds()
+					t0 = time.Now()
+					dec, err := snapshot.Decode(enc, pm.CallTopDirs{Depth: 2})
+					decNS := time.Since(t0).Nanoseconds()
+					if err != nil {
+						return fmt.Errorf("%s/%s shards=%d scoped=%v snapshot decode: %v", p.Name, backend, shards, scoped, err)
+					}
+					if !bytes.Equal(snapshot.Encode(dec), enc) {
+						return fmt.Errorf("%s/%s shards=%d scoped=%v: snapshot re-encode is not byte-identical", p.Name, backend, shards, scoped)
+					}
 					cell := matrixCell{
 						Profile:        p.Name,
 						Backend:        backend,
@@ -219,15 +254,19 @@ func matrixBench(profilesCSV string, mcases, mevents, ashards int, seed int64, j
 						Variants:       res.ActivityLog.NumVariants(),
 						Edges:          res.DFG.NumEdges(),
 						Symbols:        res.Symbols,
+						SnapshotBytes:  int64(len(enc)),
 						WallNS:         wall.Nanoseconds(),
 						EventsPerS:     float64(res.Events) / wall.Seconds(),
 						MBPerS:         float64(size) / 1e6 / wall.Seconds(),
 						AllocsPerEvent: float64(allocs) / float64(res.Events),
+						SnapEncNS:      encNS,
+						SnapDecNS:      decNS,
 					}
 					report.Cells = append(report.Cells, cell)
-					fmt.Printf("%-12s %-8s %6d %-7v %7d %8d %9d %8d %6d %12v %14.3f\n",
+					fmt.Printf("%-12s %-8s %6d %-7v %7d %8d %9d %8d %6d %9d %12v %14.3f\n",
 						cell.Profile, cell.Backend, cell.Shards, cell.Scoped,
 						cell.Cases, cell.Events, cell.Bytes, cell.Variants, cell.Edges,
+						cell.SnapshotBytes,
 						time.Duration(cell.WallNS).Round(time.Microsecond), cell.AllocsPerEvent)
 				}
 			}
@@ -298,10 +337,12 @@ func diffMatrix(fresh matrixReport, baselinePath string) error {
 		}
 		structure := "ok"
 		if f.Cases != b.Cases || f.Events != b.Events || f.Bytes != b.Bytes ||
-			f.Variants != b.Variants || f.Edges != b.Edges || f.Symbols != b.Symbols {
-			structure = fmt.Sprintf("DIVERGED cases %d→%d events %d→%d bytes %d→%d variants %d→%d edges %d→%d symbols %d→%d",
+			f.Variants != b.Variants || f.Edges != b.Edges || f.Symbols != b.Symbols ||
+			f.SnapshotBytes != b.SnapshotBytes {
+			structure = fmt.Sprintf("DIVERGED cases %d→%d events %d→%d bytes %d→%d variants %d→%d edges %d→%d symbols %d→%d snapshot %d→%d",
 				b.Cases, f.Cases, b.Events, f.Events, b.Bytes, f.Bytes,
-				b.Variants, f.Variants, b.Edges, f.Edges, b.Symbols, f.Symbols)
+				b.Variants, f.Variants, b.Edges, f.Edges, b.Symbols, f.Symbols,
+				b.SnapshotBytes, f.SnapshotBytes)
 			structural = append(structural, k)
 		}
 		fmt.Printf("%-42s %10s %10s %+13.3f  %s\n", k,

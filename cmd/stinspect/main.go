@@ -12,6 +12,7 @@
 //	stinspect percase  -traces DIR|-archive FILE [-activity ACT] [-map MAPPING]
 //	stinspect compare  -traces DIR|-archive FILE -green CID[,CID...] [-map MAPPING] [-format dot|text] [-skip CALLS]
 //	stinspect archive  -traces DIR -o FILE.sta
+//	stinspect snapshot -traces DIR|-archive FILE -o FILE.sts [-every N] [-resume] [-map MAPPING]
 //	stinspect info     -traces DIR|-archive FILE
 //
 // Mappings: "topdirs:N" (call + top N directories, the paper's f̂ with
@@ -32,6 +33,20 @@
 // -j/-window/-ashards setting. All three flags require values >= 1
 // when given; omitting a flag selects its default.
 //
+// The snapshot subcommand folds its input in one bounded-memory pass
+// and writes the pre-Finalize aggregate state — activity-log, DFG,
+// statistics, folded case set — to a durable STS snapshot file,
+// checkpointing every -every cases (crash loses at most one epoch) and
+// resuming an interrupted fold with -resume. Snapshot files written by
+// separate processes over disjoint trace subsets merge back into
+// exactly the single-process artifacts:
+//
+//	stinspect dfg -merge-snapshots part1.sts,part2.sts,part3.sts
+//
+// -merge-snapshots replaces -traces/-archive/-dxt as the input of the
+// dfg, stats, variants, info and footprint subcommands; the output is
+// byte-identical to a single run over the union of the parts' cases.
+//
 // -scoped-syms scopes a fresh symbol table to the run's ingestion pass
 // instead of the process-wide table. The output is byte-identical; the
 // flag matters for long-lived embeddings (and proves the scoped path
@@ -46,6 +61,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -68,7 +84,7 @@ func usagef(format string, args ...any) error {
 // missing/unknown-subcommand errors all print, so the lists cannot
 // drift from each other (the dispatch switch below is the source of
 // truth it mirrors).
-const subcommands = "dfg, stats, variants, timeline, dist, percase, compare, report, footprint, archive, info"
+const subcommands = "dfg, stats, variants, timeline, dist, percase, compare, report, footprint, archive, snapshot, info"
 
 func run(args []string) error {
 	if len(args) < 1 {
@@ -104,6 +120,9 @@ func run(args []string) error {
 	window := fs.Int("window", 0, "streaming mode: max cases resident at once (>= 1; omit for 2x parallelism)")
 	ashards := fs.Int("ashards", 0, "streaming mode: analysis shards, concurrent fold workers whose partials merge exactly (>= 1; omit for GOMAXPROCS)")
 	scopedSyms := fs.Bool("scoped-syms", false, "scope a fresh symbol table to this run's ingestion pass instead of the process-wide table (identical output; bounds retention in long-lived embeddings)")
+	mergeSnaps := fs.String("merge-snapshots", "", "comma-separated STS snapshot files to merge as the input (dfg, stats, variants, info, footprint); replaces -traces/-archive/-dxt")
+	every := fs.Int("every", 0, "snapshot subcommand: checkpoint every N folded cases (omit or <= 0: one snapshot at the end)")
+	resume := fs.Bool("resume", false, "snapshot subcommand: resume from an existing -o snapshot, folding only unseen cases")
 	if err := fs.Parse(rest); err != nil {
 		return cliutil.Usage(err)
 	}
@@ -170,6 +189,57 @@ func run(args []string) error {
 			src = stinspector.FilterStream(src, func(e stinspector.Event) bool { return set[e.Call] })
 		}
 		return src, nil
+	}
+
+	if *mergeSnaps != "" {
+		// Merged snapshots replace ingestion entirely: the parts carry
+		// the pre-Finalize aggregates of their folds, so the artifacts
+		// come out of the exact merge, not out of a stream.
+		switch cmd {
+		case "dfg", "stats", "variants", "info", "footprint":
+		default:
+			return usagef("subcommand %q cannot run from merged snapshots", cmd)
+		}
+		if *traces != "" || *archivePath != "" || *dxtPath != "" || *stream {
+			return usagef("-merge-snapshots replaces -traces/-archive/-dxt and implies one merged pass; drop the other input flags")
+		}
+		m, err := parseMapping(*mapping)
+		if err != nil {
+			return err
+		}
+		res, err := stinspector.MergeSnapshots(m, strings.Split(*mergeSnaps, ",")...)
+		if err != nil {
+			return err
+		}
+		return runStreamed(cmd, res, *format)
+	}
+
+	if cmd == "snapshot" {
+		if *out == "" {
+			return usagef("snapshot needs -o FILE.sts")
+		}
+		m, err := parseMapping(*mapping)
+		if err != nil {
+			return err
+		}
+		src, err := openStream()
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		opts := stinspector.CheckpointOptions{
+			Dir:    filepath.Dir(*out),
+			Name:   filepath.Base(*out),
+			Every:  *every,
+			Resume: *resume,
+		}
+		res, err := stinspector.AnalyzeStreamCheckpointed(src, m, *ashards, !*lenient, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d cases, %d events, %d activities\n",
+			*out, res.Cases, res.Events, len(res.Stats.Activities()))
+		return nil
 	}
 
 	if *stream {

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+
+	"stinspector/internal/synth/profiles"
 )
 
 // Robustness: arbitrary corruption of a valid archive must never panic —
@@ -60,6 +62,18 @@ func FuzzSectionDecode(f *testing.F) {
 		f.Add(buf.Bytes())
 		mut := append([]byte(nil), buf.Bytes()...)
 		mut[len(mut)/2] ^= 0x40
+		f.Add(mut)
+	}
+	// A hostileargs-profile archive seeds the mutator with the quoting
+	// and control-character torture paths of the adversarial generators.
+	if p, ok := profiles.Lookup("hostileargs"); ok {
+		var buf bytes.Buffer
+		if err := Write(&buf, p.Generate("fz", 3, 12, 20240924)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/3] ^= 0x11
 		f.Add(mut)
 	}
 	f.Add([]byte(magic))

@@ -3,6 +3,7 @@ package archive
 import (
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sync"
 	"time"
@@ -143,6 +144,12 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every index entry needs at least 6 bytes (three one-byte strings
+	// /varints plus three uvarints), so a count the index bytes cannot
+	// hold is corruption, not an allocation request.
+	if n > uint64(ic.remaining())/6 {
+		return nil, corrupt("index claims %d cases in %d bytes", n, ic.remaining())
+	}
 	r := &Reader{src: src, byID: make(map[trace.CaseID]int, n)}
 	for i := uint64(0); i < n; i++ {
 		var ent indexEntry
@@ -166,8 +173,10 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 		if ent.events, err = ic.uvarint(); err != nil {
 			return nil, err
 		}
-		if ent.offset+ent.length > indexOffset {
-			return nil, corrupt("case %s section [%d,%d) overlaps index", ent.id, ent.offset, ent.offset+ent.length)
+		// Compare without computing offset+length: hostile values near
+		// MaxUint64 would wrap the sum back into range.
+		if ent.length > indexOffset || ent.offset > indexOffset-ent.length {
+			return nil, corrupt("case %s section [%d,+%d) overlaps index", ent.id, ent.offset, ent.length)
 		}
 		r.byID[ent.id] = len(r.entries)
 		r.entries = append(r.entries, ent)
@@ -310,7 +319,9 @@ func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.
 	if err != nil {
 		return nil, err
 	}
-	if bodyLen+4 > uint64(c.remaining()) {
+	// Checked as "remaining - 4 < bodyLen": a bodyLen near MaxUint64
+	// would wrap bodyLen+4 back into range.
+	if uint64(c.remaining()) < 4 || bodyLen > uint64(c.remaining())-4 {
 		return nil, corrupt("case %s: section body truncated", want)
 	}
 	body := section[c.off : c.off+int(bodyLen)]
@@ -348,9 +359,18 @@ func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.
 	if err != nil {
 		return nil, err
 	}
+	// Each event occupies at least 6 bytes of the body (six one-byte
+	// columns), so larger claimed counts are corruption — the guard that
+	// keeps a hostile count from becoming a multi-GB allocation.
+	if n > uint64(bc.remaining())/6 {
+		return nil, corrupt("case %s: %d events claimed in %d bytes", id, n, bc.remaining())
+	}
 	nd, err := bc.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nd > uint64(bc.remaining()) {
+		return nil, corrupt("case %s: %d dictionary strings claimed in %d bytes", id, nd, bc.remaining())
 	}
 	dict := make([]string, nd)
 	for i := range dict {
@@ -396,6 +416,11 @@ func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.
 			d, err := bc.uvarint()
 			if err != nil {
 				return nil, err
+			}
+			// Deltas are non-negative; a sum past MaxInt64 would wrap
+			// into a garbage (negative) timestamp instead of failing.
+			if d > math.MaxInt64 || prev > math.MaxInt64-int64(d) {
+				return nil, corrupt("case %s: start timestamp overflows at event %d", id, i)
 			}
 			prev += int64(d)
 		}

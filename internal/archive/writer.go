@@ -3,8 +3,8 @@ package archive
 import (
 	"fmt"
 	"io"
-	"os"
 
+	"stinspector/internal/fsatomic"
 	"stinspector/internal/trace"
 )
 
@@ -73,17 +73,15 @@ func Write(w io.Writer, log *trace.EventLog) error {
 	return count(foot.bytes())
 }
 
-// WriteFile serializes the event-log to a file.
+// WriteFile serializes the event-log to a file. The write is
+// crash-safe: the archive lands in a temporary file that is synced and
+// renamed over path only once complete, so an error or crash mid-write
+// can never leave a truncated .sta behind — path holds either its
+// previous content or the full new archive.
 func WriteFile(path string, log *trace.EventLog) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := Write(f, log); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		return Write(w, log)
+	})
 }
 
 // encodeCase serializes one case as a self-checking section:

@@ -1,0 +1,137 @@
+package dfg
+
+import (
+	"stinspector/internal/intern"
+	"stinspector/internal/pm"
+	"stinspector/internal/snapshot/wire"
+)
+
+// EncodeSnapshot serializes the graph for durable storage. Activities
+// are written once in a per-snapshot intern dictionary built over the
+// deterministic node order, so identical graphs encode to identical
+// bytes. Counts use signed varints: the graph API never produces
+// negative counts, but the encoding does not silently corrupt one.
+//
+// Layout (wrapped in a checksummed section by internal/snapshot):
+//
+//	dict:   n | string*
+//	traces: uvarint
+//	nodes:  n | (actSym count)*
+//	edges:  n | (fromSym toSym count)*
+func (g *Graph) EncodeSnapshot() []byte {
+	dict := intern.NewLocal()
+	var b wire.Buf
+
+	nodes := g.Nodes()
+	for _, a := range nodes {
+		dict.Intern(string(a))
+	}
+	b.Uvarint(uint64(dict.Len()))
+	for i := 0; i < dict.Len(); i++ {
+		b.Str(dict.Str(intern.Sym(i)))
+	}
+
+	b.Uvarint(uint64(g.traces))
+	b.Uvarint(uint64(len(nodes)))
+	for _, a := range nodes {
+		y, _ := dict.Sym(string(a))
+		b.Uvarint(uint64(y))
+		b.Varint(int64(g.nodes[a]))
+	}
+	edges := g.Edges()
+	b.Uvarint(uint64(len(edges)))
+	for _, e := range edges {
+		fy, _ := dict.Sym(string(e.From))
+		ty, _ := dict.Sym(string(e.To))
+		b.Uvarint(uint64(fy))
+		b.Uvarint(uint64(ty))
+		b.Varint(int64(g.edges[e]))
+	}
+	return b.Bytes()
+}
+
+// DecodeGraphSnapshot reconstructs a graph from EncodeSnapshot bytes.
+// Every dictionary reference is range-checked and duplicate entries are
+// rejected: hostile input yields a wire.CorruptError, never a panic.
+func DecodeGraphSnapshot(data []byte) (*Graph, error) {
+	c := wire.NewCursor(data)
+	nd, err := c.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	dict := intern.NewLocal()
+	for i := 0; i < nd; i++ {
+		s, err := c.Str()
+		if err != nil {
+			return nil, err
+		}
+		dict.Intern(s)
+		if dict.Len() != i+1 {
+			return nil, wire.Corruptf("duplicate dictionary string %q", s)
+		}
+	}
+	sym := func() (pm.Activity, error) {
+		y, err := c.Uvarint()
+		if err != nil {
+			return "", err
+		}
+		if y >= uint64(nd) {
+			return "", wire.Corruptf("dictionary id %d out of range (%d strings)", y, nd)
+		}
+		return pm.Activity(dict.Str(intern.Sym(y))), nil
+	}
+
+	g := New()
+	if g.traces, err = c.Int(); err != nil {
+		return nil, err
+	}
+	nn, err := c.Count(2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nn; i++ {
+		a, err := sym()
+		if err != nil {
+			return nil, err
+		}
+		count, err := c.Varint()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := g.nodes[a]; ok {
+			return nil, wire.Corruptf("duplicate node %q", a)
+		}
+		g.nodes[a] = int(count)
+	}
+	ne, err := c.Count(3)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ne; i++ {
+		var e Edge
+		if e.From, err = sym(); err != nil {
+			return nil, err
+		}
+		if e.To, err = sym(); err != nil {
+			return nil, err
+		}
+		count, err := c.Varint()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := g.edges[e]; ok {
+			return nil, wire.Corruptf("duplicate edge %s", e)
+		}
+		if _, ok := g.nodes[e.From]; !ok {
+			return nil, wire.Corruptf("edge %s from unknown node", e)
+		}
+		if _, ok := g.nodes[e.To]; !ok {
+			return nil, wire.Corruptf("edge %s to unknown node", e)
+		}
+		g.edges[e] = int(count)
+	}
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,65 @@
+// Package fsatomic provides crash-safe file replacement: every write
+// lands in a temporary file in the destination directory, is synced to
+// stable storage, and is renamed over the destination in one atomic
+// step. A reader therefore only ever observes the old complete file or
+// the new complete file — never a torn prefix — which is the property
+// the archive writer and every snapshot/checkpoint write rely on: a
+// resumable checkpoint that can itself be torn would defeat resuming.
+package fsatomic
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// write receives a temporary file in path's directory (same filesystem,
+// so the final rename cannot degrade into a copy); on any error — from
+// write itself, the sync, or the rename — the temporary file is removed
+// and the destination is left exactly as it was. On success the file is
+// fsynced before the rename, so a crash straddling WriteFile leaves
+// either the previous content or the new content, never a mix.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// CreateTemp opens 0600; published files keep the conventional
+	// world-readable mode an os.Create would have produced.
+	if err = tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for callers that already hold the full
+// encoded content.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

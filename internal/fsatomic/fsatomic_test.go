@@ -1,0 +1,89 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+
+	if err := WriteFileBytes(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	// Replacement is atomic: the old content is fully superseded.
+	if err := WriteFileBytes(path, []byte("second, longer content")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "second, longer content" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+// A failing write callback must leave the destination untouched — both
+// when it did not exist and when a previous version was on disk — and
+// must not litter the directory with temporary files.
+func TestWriteFileErrorLeavesDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	boom := errors.New("boom")
+
+	err := WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("partial bytes that must never land"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists after failed first write: %v", err)
+	}
+
+	if err := WriteFileBytes(path, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	err = WriteFile(path, func(w io.Writer) error {
+		w.Write([]byte("torn"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "good" {
+		t.Fatalf("previous content lost: %q, %v", got, err)
+	}
+	assertNoTempLitter(t, dir)
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+func assertNoTempLitter(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temporary file left behind: %s", e.Name())
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package pm
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"stinspector/internal/snapshot/wire"
+	"stinspector/internal/synth"
+)
+
+func buildLog(t *testing.T) *Log {
+	t.Helper()
+	el := synth.Log("snap", 24, 40, 20240924)
+	b := NewBuilder(CallTopDirs{Depth: 2}, BuildOptions{Endpoints: true})
+	for _, c := range el.Cases() {
+		b.add(c)
+	}
+	return b.Finalize()
+}
+
+// Encode∘decode is the identity on activity-logs, and the encoding is
+// canonical: re-encoding the decoded log reproduces the bytes exactly.
+func TestLogSnapshotRoundTrip(t *testing.T) {
+	l := buildLog(t)
+	enc := l.EncodeSnapshot()
+	got, err := DecodeLogSnapshot(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.mapped != l.mapped || got.unmapped != l.unmapped {
+		t.Errorf("counters: got %d/%d, want %d/%d", got.mapped, got.unmapped, l.mapped, l.unmapped)
+	}
+	if len(got.variants) != len(l.variants) {
+		t.Fatalf("decoded %d variants, want %d", len(got.variants), len(l.variants))
+	}
+	for i, v := range l.variants {
+		gv := got.variants[i]
+		if !reflect.DeepEqual(gv.Seq, v.Seq) || gv.Mult != v.Mult || !reflect.DeepEqual(gv.Cases, v.Cases) {
+			t.Errorf("variant %d differs:\ngot  %v ^%d %v\nwant %v ^%d %v", i, gv.Seq, gv.Mult, gv.Cases, v.Seq, v.Mult, v.Cases)
+		}
+	}
+	if re := got.EncodeSnapshot(); !bytes.Equal(re, enc) {
+		t.Errorf("re-encode differs: %d vs %d bytes", len(re), len(enc))
+	}
+}
+
+func TestLogSnapshotEmpty(t *testing.T) {
+	l := MergeLogs()
+	got, err := DecodeLogSnapshot(l.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVariants() != 0 || got.mapped != 0 || got.unmapped != 0 {
+		t.Errorf("decoded empty log has state: %v", got)
+	}
+}
+
+// A decoded log stays a first-class Log: merging it with another
+// partial reproduces the merge of the originals.
+func TestLogSnapshotMergesAfterDecode(t *testing.T) {
+	el := synth.Log("snapm", 16, 30, 7)
+	m := CallTopDirs{Depth: 2}
+	mk := func(lo, hi int) *Log {
+		b := NewBuilder(m, BuildOptions{Endpoints: true})
+		for _, c := range el.Cases()[lo:hi] {
+			b.add(c)
+		}
+		return b.Finalize()
+	}
+	whole := mk(0, 16)
+	a, bp := mk(0, 9), mk(9, 16)
+	da, err := DecodeLogSnapshot(a.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := DecodeLogSnapshot(bp.EncodeSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergeLogs(da, db)
+	if !bytes.Equal(merged.EncodeSnapshot(), whole.EncodeSnapshot()) {
+		t.Error("merge of decoded partials differs from the whole fold")
+	}
+}
+
+// Truncations and out-of-range ids must fail with CorruptError — never
+// panic, never a silently wrong log.
+func TestLogSnapshotCorrupt(t *testing.T) {
+	enc := buildLog(t).EncodeSnapshot()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeLogSnapshot(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+	// Dictionary id beyond the table.
+	var b wire.Buf
+	b.Uvarint(1) // one dictionary string
+	b.Str("x")
+	b.Uvarint(0) // mapped
+	b.Uvarint(0) // unmapped
+	b.Uvarint(1) // one variant
+	b.Uvarint(1) // seq len
+	b.Uvarint(9) // out-of-range activity id
+	b.Uvarint(1) // mult
+	b.Uvarint(0) // no cases
+	var ce *wire.CorruptError
+	if _, err := DecodeLogSnapshot(b.Bytes()); !errors.As(err, &ce) {
+		t.Fatalf("out-of-range dictionary id: err = %v, want CorruptError", err)
+	}
+}

@@ -1,0 +1,55 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"stinspector/internal/pm"
+	"stinspector/internal/synth/profiles"
+)
+
+// FuzzSnapshotDecode drives Decode with mutated snapshot files: seeds
+// are real snapshots of the adversarial generator profiles (the
+// hostileargs renderings among them) plus bit-flipped variants. The
+// decoder must never panic and never allocate proportionally to a
+// hostile count; when it does accept an input, the decoded state must
+// re-encode and re-decode to a fixed point (a canonical snapshot).
+func FuzzSnapshotDecode(f *testing.F) {
+	m := pm.CallTopDirs{Depth: 2}
+	for _, name := range []string{"baseline", "hostileargs", "widevocab"} {
+		p, ok := profiles.Lookup(name)
+		if !ok {
+			f.Fatalf("profile %s missing", name)
+		}
+		el := p.Generate("fz", 4, 16, 20240924)
+		s := foldRange(el, m, 0, 4)
+		enc := Encode(s)
+		f.Add(enc)
+		// Bit-flipped variants seed the mutator with near-valid files.
+		for _, pos := range []int{2, len(enc) / 3, len(enc) / 2, len(enc) - 5} {
+			mut := append([]byte(nil), enc...)
+			mut[pos] ^= 0x41
+			f.Add(mut)
+		}
+		f.Add(enc[:len(enc)*2/3])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("STS1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data, m)
+		if err != nil {
+			return
+		}
+		// Accepted input: encoding must be a fixed point, so a decoded
+		// snapshot behaves identically to one built in-process.
+		re := Encode(s)
+		s2, err := Decode(re, m)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(Encode(s2), re) {
+			t.Fatal("re-encode is not a fixed point")
+		}
+	})
+}

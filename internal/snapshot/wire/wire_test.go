@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripPrimitives(t *testing.T) {
+	var b Buf
+	b.Uvarint(0)
+	b.Uvarint(math.MaxUint64)
+	b.Varint(-1 << 40)
+	b.U32(0xdeadbeef)
+	b.U64(0x0123456789abcdef)
+	b.Str("hello, wire")
+	b.Str("")
+	b.Bool(true)
+	b.Bool(false)
+	b.Raw([]byte{1, 2, 3})
+
+	c := NewCursor(b.Bytes())
+	if v, err := c.Uvarint(); err != nil || v != 0 {
+		t.Fatalf("uvarint: %d, %v", v, err)
+	}
+	if v, err := c.Uvarint(); err != nil || v != math.MaxUint64 {
+		t.Fatalf("uvarint max: %d, %v", v, err)
+	}
+	if v, err := c.Varint(); err != nil || v != -1<<40 {
+		t.Fatalf("varint: %d, %v", v, err)
+	}
+	if v, err := c.U32(); err != nil || v != 0xdeadbeef {
+		t.Fatalf("u32: %x, %v", v, err)
+	}
+	if v, err := c.U64(); err != nil || v != 0x0123456789abcdef {
+		t.Fatalf("u64: %x, %v", v, err)
+	}
+	if s, err := c.Str(); err != nil || s != "hello, wire" {
+		t.Fatalf("str: %q, %v", s, err)
+	}
+	if s, err := c.Str(); err != nil || s != "" {
+		t.Fatalf("empty str: %q, %v", s, err)
+	}
+	if v, err := c.Bool(); err != nil || !v {
+		t.Fatalf("bool true: %v, %v", v, err)
+	}
+	if v, err := c.Bool(); err != nil || v {
+		t.Fatalf("bool false: %v, %v", v, err)
+	}
+	if c.Remaining() != 3 {
+		t.Fatalf("remaining = %d, want 3", c.Remaining())
+	}
+	if err := c.Done(); err == nil {
+		t.Fatal("Done accepted trailing bytes")
+	}
+}
+
+// Every truncated or malformed read must surface as CorruptError, not a
+// panic or a silent zero.
+func TestCursorErrors(t *testing.T) {
+	checkCorrupt := func(name string, err error) {
+		t.Helper()
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: err = %v, want CorruptError", name, err)
+		}
+	}
+
+	_, err := NewCursor(nil).Uvarint()
+	checkCorrupt("empty uvarint", err)
+	_, err = NewCursor([]byte{0x80, 0x80}).Uvarint()
+	checkCorrupt("truncated uvarint", err)
+	// 10-byte uvarint with a continuation bit on byte 10 overflows.
+	over := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	_, err = NewCursor(over).Uvarint()
+	checkCorrupt("overlong uvarint", err)
+	_, err = NewCursor([]byte{1, 2}).U32()
+	checkCorrupt("short u32", err)
+	_, err = NewCursor([]byte{1}).U64()
+	checkCorrupt("short u64", err)
+	_, err = NewCursor(nil).Bool()
+	checkCorrupt("empty bool", err)
+	_, err = NewCursor([]byte{7}).Bool()
+	checkCorrupt("bad bool byte", err)
+	// String length claims more than the input holds.
+	var b Buf
+	b.Uvarint(1000)
+	b.Raw([]byte("short"))
+	_, err = NewCursor(b.Bytes()).Str()
+	checkCorrupt("oversized string", err)
+}
+
+// Count rejects element counts the remaining bytes cannot possibly
+// encode — the allocation-bomb guard.
+func TestCountGuardsAllocation(t *testing.T) {
+	var b Buf
+	b.Uvarint(1 << 40) // claims 2^40 elements
+	c := NewCursor(b.Bytes())
+	if _, err := c.Count(4); err == nil {
+		t.Fatal("Count accepted an impossible element count")
+	} else if !strings.Contains(err.Error(), "impossible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// A count that exactly fits is accepted.
+	var ok Buf
+	ok.Uvarint(3)
+	ok.Raw([]byte{1, 2, 3, 4, 5, 6})
+	c = NewCursor(ok.Bytes())
+	n, err := c.Count(2)
+	if err != nil || n != 3 {
+		t.Fatalf("Count = %d, %v; want 3, nil", n, err)
+	}
+}
+
+func TestIntRejectsHugeCounters(t *testing.T) {
+	var b Buf
+	b.Uvarint(math.MaxUint64)
+	if _, err := NewCursor(b.Bytes()).Int(); err == nil {
+		t.Fatal("Int accepted a counter beyond int range")
+	}
+	var ok Buf
+	ok.Uvarint(42)
+	if v, err := NewCursor(ok.Bytes()).Int(); err != nil || v != 42 {
+		t.Fatalf("Int = %d, %v", v, err)
+	}
+}

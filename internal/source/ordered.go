@@ -135,10 +135,24 @@ func (s *ordSource) Next() (*trace.Case, error) {
 			if r.c != nil {
 				s.resident.Add(-1)
 			}
-			// Hand the freed window slot back to the workers.
+			// Hand the freed window slot back to the workers. Token
+			// conservation makes this send non-blocking: sem starts with
+			// window tokens, every worker claim moves one token from sem
+			// to the claimed index (or destroys it when the claim lands
+			// past n), and each delivered index refunds its token exactly
+			// once — right here. So at this point
+			//
+			//	tokens in sem + tokens held by undelivered claims
+			//	  + destroyed tokens + 1 (this index's token) == window
+			//
+			// and sem holds at most window-1 tokens; the buffered send
+			// always succeeds. A silent drop here would instead shrink
+			// the effective window permanently, so a full channel is a
+			// broken invariant worth crashing on, not a slot to leak.
 			select {
 			case s.sem <- struct{}{}:
 			default:
+				panic("source: ordered window refund would block; token invariant violated")
 			}
 			return r.c, r.err
 		}

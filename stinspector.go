@@ -31,6 +31,7 @@ import (
 	"stinspector/internal/intern"
 	"stinspector/internal/pm"
 	"stinspector/internal/render"
+	"stinspector/internal/snapshot"
 	"stinspector/internal/source"
 	"stinspector/internal/stats"
 	"stinspector/internal/strace"
@@ -351,6 +352,43 @@ func AnalyzeStream(src Source, m Mapping, joinErrors bool) (*StreamResult, error
 // independently (stinspect exposes this as -j/-window/-ashards).
 func AnalyzeStreamParallel(src Source, m Mapping, shards int, joinErrors bool) (*StreamResult, error) {
 	return core.AnalyzeStreamParallel(src, m, shards, joinErrors)
+}
+
+// CheckpointOptions configures a durable analysis fold: the checkpoint
+// directory and filename, the epoch size in cases between checkpoint
+// writes, and whether to resume from an existing checkpoint.
+type CheckpointOptions = core.CheckpointOptions
+
+// AnalyzeStreamCheckpointed is AnalyzeStreamParallel made durable: the
+// fold checkpoints its pre-Finalize aggregate state atomically every
+// opts.Every cases, and with opts.Resume it reloads the checkpoint and
+// folds only the cases it has not yet seen. Whatever the crash/resume
+// history, the final artifacts and checkpoint bytes are identical to an
+// uninterrupted run (stinspect exposes this as the snapshot subcommand;
+// stbench as -checkpoint/-resume).
+func AnalyzeStreamCheckpointed(src Source, m Mapping, shards int, joinErrors bool, opts CheckpointOptions) (*StreamResult, error) {
+	return core.AnalyzeStreamCheckpointed(src, m, shards, joinErrors, opts)
+}
+
+// WriteSnapshot folds a source and writes the pre-Finalize aggregate
+// state to an STS snapshot file — the per-process half of a
+// multi-process fold. Snapshots of a disjoint corpus partition merge
+// (MergeSnapshots, `stinspect -merge-snapshots`) into exactly the
+// single-process result.
+func WriteSnapshot(path string, src Source, m Mapping, shards int, joinErrors bool) error {
+	s, err := core.AnalyzeStreamSnapshot(src, m, shards, joinErrors)
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteFile(path, s)
+}
+
+// MergeSnapshots loads STS snapshot files written by separate fold
+// processes (WriteSnapshot or the checkpoint engine), merges them
+// exactly, and finalizes the combined artifacts — byte-identical to a
+// single run over the union of the inputs' cases.
+func MergeSnapshots(m Mapping, paths ...string) (*StreamResult, error) {
+	return core.MergeSnapshotFiles(m, paths...)
 }
 
 // LoadStream materializes a source into an Inspector — the in-memory
