@@ -445,6 +445,81 @@ func BenchmarkArchiveRead(b *testing.B) {
 	}
 }
 
+// BenchmarkArchiveReingest: streaming re-ingestion — the v1 row-format
+// archive against the columnar v2 with its persisted symbol dictionary.
+// Both drain the same log through the identical ordered-source walk, so
+// the delta is pure decode cost; v2's near-zero-parse path is the
+// headline number BENCHMARKS.md tracks.
+func BenchmarkArchiveReingest(b *testing.B) {
+	el := synthLog(100_000, 64, 32, 12)
+	var v1, v2 bytes.Buffer
+	if err := archive.Write(&v1, el); err != nil {
+		b.Fatal(err)
+	}
+	if err := archive.WriteV2(&v2, el); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		data []byte
+	}{{"v1", v1.Bytes()}, {"v2", v2.Bytes()}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(bc.data)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := archive.NewReaderBytes(bc.data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := r.Stream(4, 8)
+				events := 0
+				err = source.Walk(src, true, func(c *trace.Case) error {
+					events += c.Len()
+					return nil
+				})
+				src.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if events != el.NumEvents() {
+					b.Fatal("lost events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArchiveV2RandomAccess: ReadCaseAt is O(1) in the archive
+// size — the index addresses every section directly, so the ns/op of
+// reading one mid-file case must be flat across a 64× file-size sweep.
+func BenchmarkArchiveV2RandomAccess(b *testing.B) {
+	const perCase = 200
+	for _, nCases := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("cases=%d", nCases), func(b *testing.B) {
+			el := synthLog(nCases*perCase, nCases, 32, 17)
+			var buf bytes.Buffer
+			if err := archive.WriteV2(&buf, el); err != nil {
+				b.Fatal(err)
+			}
+			r, err := archive.NewReaderBytes(buf.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c, err := r.ReadCaseAt(nCases / 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Len() != perCase {
+					b.Fatal("wrong case")
+				}
+			}
+		})
+	}
+}
+
 // --- Per-figure pipelines ----------------------------------------------
 
 // BenchmarkFig3DFG: the ls / ls -l methodology pipeline (Figures 2-3):

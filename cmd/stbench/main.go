@@ -15,10 +15,13 @@
 // times sequential (Parallelism: 1), parallel (-j workers) ReadDir, and
 // the streaming pass (-window resident cases, never materializing the
 // event-log), reporting the speedup and the peak number of cases
-// resident. It then times the analysis fold (activity-log + DFG +
-// statistics synthesis) separately, over the already-ingested log, at
-// one shard and at -ashards shards, so ingest-bound and analysis-bound
-// regressions are distinguishable:
+// resident. A re-ingestion section then consolidates the same log as an
+// STA v1 and a columnar STA v2 archive and streams each back through
+// the identical walk, reporting the v2-vs-v1 and archive-vs-strace
+// throughput and allocation ratios. Finally it times the analysis fold
+// (activity-log + DFG + statistics synthesis) separately, over the
+// already-ingested log, at one shard and at -ashards shards, so
+// ingest-bound and analysis-bound regressions are distinguishable:
 //
 //	stbench -ingest 200 -events 2000 -j 8 -window 16 -ashards 8
 //
@@ -47,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"stinspector/internal/archive"
 	"stinspector/internal/cliutil"
 	"stinspector/internal/core"
 	"stinspector/internal/experiments"
@@ -271,19 +275,20 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 		nFiles, log.NumEvents(), float64(bytes)/1e6)
 
 	nEvents := log.NumEvents()
-	// readsTraceBytes: the ingest stages consume the trace files, so
-	// MB/s is meaningful; the analysis stages fold an
-	// already-materialized log and report 0 rather than a fabricated
-	// byte throughput.
-	stage := func(name string, wall time.Duration, allocs uint64, readsTraceBytes bool) benchStage {
+	// byteSize: the bytes a stage actually consumes (the trace directory
+	// for the strace stages, the archive file for the re-ingestion
+	// stages), so MB/s compares encodings honestly; the analysis stages
+	// fold an already-materialized log and pass 0 rather than a
+	// fabricated byte throughput.
+	stage := func(name string, wall time.Duration, allocs uint64, byteSize int64) benchStage {
 		s := benchStage{
 			Stage:          name,
 			WallNS:         wall.Nanoseconds(),
 			EventsPerS:     float64(nEvents) / wall.Seconds(),
 			AllocsPerEvent: float64(allocs) / float64(nEvents),
 		}
-		if readsTraceBytes {
-			s.MBPerS = float64(bytes) / 1e6 / wall.Seconds()
+		if byteSize > 0 {
+			s.MBPerS = float64(byteSize) / 1e6 / wall.Seconds()
 		}
 		return s
 	}
@@ -374,9 +379,9 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 		return err
 	}
 	stages = append(stages,
-		stage("ingest_sequential", seq, seqAllocs, true),
-		stage(fmt.Sprintf("ingest_parallel_j%d", jobs), par, parAllocs, true),
-		stage(fmt.Sprintf("ingest_streaming_j%d_w%d", jobs, window), str, strAllocs, true),
+		stage("ingest_sequential", seq, seqAllocs, bytes),
+		stage(fmt.Sprintf("ingest_parallel_j%d", jobs), par, parAllocs, bytes),
+		stage(fmt.Sprintf("ingest_streaming_j%d_w%d", jobs, window), str, strAllocs, bytes),
 	)
 	aev := func(allocs uint64) float64 { return float64(allocs) / float64(nEvents) }
 	fmt.Printf("%-32s %12s %14s %14s\n", "INGEST", "WALL", "THROUGHPUT", "ALLOCS/EVENT")
@@ -398,6 +403,93 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 	} else {
 		fmt.Printf("resident symbols: %d in process-wide Default\n", intern.Default.Len())
 	}
+
+	// Re-ingestion section: consolidate the same event-log once as an
+	// STA v1 and once as a columnar STA v2 archive, then stream each back
+	// through the identical walk as the strace streaming pass. This is
+	// the archive's reason to exist — pay parsing once, re-read many
+	// times — so the v2/v1 and archive/strace ratios below are the
+	// numbers BENCHMARKS.md tracks.
+	arcDir, err := os.MkdirTemp("", "stbench-arc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(arcDir)
+	v1Path := filepath.Join(arcDir, "bench.sta")
+	v2Path := filepath.Join(arcDir, "bench.sta2")
+	if err := archive.WriteFile(v1Path, log); err != nil {
+		return err
+	}
+	if err := archive.WriteFileV2(v2Path, log); err != nil {
+		return err
+	}
+	arcSize := func(path string) (int64, error) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0, err
+		}
+		return fi.Size(), nil
+	}
+	v1Bytes, err := arcSize(v1Path)
+	if err != nil {
+		return err
+	}
+	v2Bytes, err := arcSize(v2Path)
+	if err != nil {
+		return err
+	}
+	runArchive := func(path string) (time.Duration, uint64, error) {
+		tab := newTab()
+		wall, allocs, err := measured(func() error {
+			src, err := archive.StreamLogSyms(path, jobs, window, tab)
+			if err != nil {
+				return err
+			}
+			defer src.Close()
+			events := 0
+			err = source.Walk(src, true, func(c *trace.Case) error {
+				events += c.Len()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if events != nEvents {
+				return fmt.Errorf("archive re-ingestion dropped events: got %d, want %d", events, nEvents)
+			}
+			return nil
+		})
+		if tab != nil {
+			passSyms = tab.Len()
+		}
+		return wall, allocs, err
+	}
+	if _, _, err := runArchive(v1Path); err != nil { // warm (page cache, symbols)
+		return err
+	}
+	v1Wall, v1Allocs, err := runArchive(v1Path)
+	if err != nil {
+		return err
+	}
+	if _, _, err := runArchive(v2Path); err != nil { // warm
+		return err
+	}
+	v2Wall, v2Allocs, err := runArchive(v2Path)
+	if err != nil {
+		return err
+	}
+	stages = append(stages,
+		stage(fmt.Sprintf("reingest_sta1_j%d_w%d", jobs, window), v1Wall, v1Allocs, v1Bytes),
+		stage(fmt.Sprintf("reingest_sta2_j%d_w%d", jobs, window), v2Wall, v2Allocs, v2Bytes),
+	)
+	evs := func(d time.Duration) float64 { return float64(nEvents) / d.Seconds() }
+	fmt.Printf("\n%-32s %12s %14s %14s\n", "RE-INGESTION", "WALL", "THROUGHPUT", "ALLOCS/EVENT")
+	fmt.Printf("%-32s %12v %8.2f Mev/s %14.3f\n", fmt.Sprintf("sta v1 (%.1f MB)", float64(v1Bytes)/1e6), v1Wall.Round(time.Millisecond), evs(v1Wall)/1e6, aev(v1Allocs))
+	fmt.Printf("%-32s %12v %8.2f Mev/s %14.3f\n", fmt.Sprintf("sta v2 (%.1f MB)", float64(v2Bytes)/1e6), v2Wall.Round(time.Millisecond), evs(v2Wall)/1e6, aev(v2Allocs))
+	fmt.Printf("re-ingestion speedup: sta2 %.2fx vs sta1, %.2fx vs strace streaming (events/s)\n",
+		v1Wall.Seconds()/v2Wall.Seconds(), str.Seconds()/v2Wall.Seconds())
+	fmt.Printf("allocs/event: strace %.3f, sta1 %.3f, sta2 %.3f (strace/sta2 %.1fx)\n",
+		aev(strAllocs), aev(v1Allocs), aev(v2Allocs), float64(strAllocs)/float64(v2Allocs))
 
 	// Analysis section: fold the already-materialized log through the
 	// streaming analysis so the numbers isolate synthesis (activity-log
@@ -439,8 +531,8 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 			seqRes.DFG.NumEdges(), parRes.DFG.NumEdges())
 	}
 	stages = append(stages,
-		stage("analysis_sequential", aseq, aseqAllocs, false),
-		stage(fmt.Sprintf("analysis_sharded_s%d", ashards), apar, aparAllocs, false),
+		stage("analysis_sequential", aseq, aseqAllocs, 0),
+		stage(fmt.Sprintf("analysis_sharded_s%d", ashards), apar, aparAllocs, 0),
 	)
 	mevs := func(d time.Duration) float64 { return float64(nEvents) / 1e6 / d.Seconds() }
 	fmt.Printf("\n%-32s %12s %14s %14s\n", "ANALYSIS", "WALL", "THROUGHPUT", "ALLOCS/EVENT")
@@ -474,7 +566,7 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 				cres.ActivityLog.NumVariants(), seqRes.ActivityLog.NumVariants(),
 				cres.DFG.NumEdges(), seqRes.DFG.NumEdges())
 		}
-		stages = append(stages, stage("analysis_checkpointed", cw, cAllocs, false))
+		stages = append(stages, stage("analysis_checkpointed", cw, cAllocs, 0))
 		fmt.Printf("%-32s %12v %8.2f Mevents/s %14.4f\n",
 			fmt.Sprintf("checkpointed fold (every=%d)", ckpt.every), cw.Round(time.Millisecond), mevs(cw), aev(cAllocs))
 		fmt.Printf("checkpoint overhead vs sharded fold: %.2fx\n", cw.Seconds()/apar.Seconds())

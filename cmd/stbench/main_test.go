@@ -100,8 +100,8 @@ func TestRunIngestBenchJSON(t *testing.T) {
 	if err := json.Unmarshal(b, &stages); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if len(stages) != 5 {
-		t.Fatalf("got %d stages, want 5", len(stages))
+	if len(stages) != 7 {
+		t.Fatalf("got %d stages, want 7", len(stages))
 	}
 	names := map[string]bool{}
 	for _, s := range stages {
@@ -112,18 +112,20 @@ func TestRunIngestBenchJSON(t *testing.T) {
 		if s.AllocsPerEvent < 0 {
 			t.Errorf("stage %s has negative allocs_per_event", s.Stage)
 		}
-		// MB/s is meaningful only for stages that read the trace
-		// bytes; analysis folds report 0 rather than a fabricated
-		// throughput.
-		isIngest := strings.HasPrefix(s.Stage, "ingest_")
-		if isIngest && s.MBPerS <= 0 {
+		// MB/s is meaningful only for stages that consume encoded bytes
+		// (the trace directory or an archive file); analysis folds
+		// report 0 rather than a fabricated throughput.
+		readsBytes := strings.HasPrefix(s.Stage, "ingest_") || strings.HasPrefix(s.Stage, "reingest_")
+		if readsBytes && s.MBPerS <= 0 {
 			t.Errorf("ingest stage %s has non-positive mb_per_s", s.Stage)
 		}
-		if !isIngest && s.MBPerS != 0 {
+		if !readsBytes && s.MBPerS != 0 {
 			t.Errorf("analysis stage %s reports mb_per_s %v, want 0", s.Stage, s.MBPerS)
 		}
 	}
-	for _, want := range []string{"ingest_sequential", "ingest_parallel_j2", "analysis_sequential", "analysis_sharded_s2"} {
+	for _, want := range []string{"ingest_sequential", "ingest_parallel_j2",
+		"reingest_sta1_j2_w4", "reingest_sta2_j2_w4",
+		"analysis_sequential", "analysis_sharded_s2"} {
 		if !names[want] {
 			t.Errorf("missing stage %q in %v", want, names)
 		}

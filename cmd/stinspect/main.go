@@ -11,7 +11,7 @@
 //	stinspect dist     -traces DIR|-archive FILE -activity ACT [-map MAPPING]
 //	stinspect percase  -traces DIR|-archive FILE [-activity ACT] [-map MAPPING]
 //	stinspect compare  -traces DIR|-archive FILE -green CID[,CID...] [-map MAPPING] [-format dot|text] [-skip CALLS]
-//	stinspect archive  -traces DIR -o FILE.sta
+//	stinspect archive  -traces DIR -o FILE.sta [-v2]
 //	stinspect snapshot -traces DIR|-archive FILE -o FILE.sts [-every N] [-resume] [-map MAPPING]
 //	stinspect info     -traces DIR|-archive FILE
 //
@@ -46,6 +46,13 @@
 // -merge-snapshots replaces -traces/-archive/-dxt as the input of the
 // dfg, stats, variants, info and footprint subcommands; the output is
 // byte-identical to a single run over the union of the parts' cases.
+//
+// -cases a:b restricts an -archive input to the half-open case range
+// [a, b) of the archive's file order ("a:" means to the end, ":b" from
+// the start). The archive index addresses every case section directly —
+// for STA v2 without even touching the skipped sections' bytes — so
+// slicing a window out of a multi-GB archive costs only the cases
+// decoded. Works with and without -stream.
 //
 // -scoped-syms scopes a fresh symbol table to the run's ingestion pass
 // instead of the process-wide table. The output is byte-identical; the
@@ -113,6 +120,7 @@ func run(args []string) error {
 	green := fs.String("green", "", "comma-separated CIDs forming the green partition (compare)")
 	skip := fs.String("skip", "", "comma-separated calls to omit from rendering")
 	out := fs.String("o", "", "output file (archive subcommand)")
+	v2 := fs.Bool("v2", false, "archive subcommand: write the columnar, mmap-able STA v2 format")
 	title := fs.String("title", "", "report title (report subcommand)")
 	lenient := fs.Bool("lenient", false, "skip unparseable trace lines instead of failing")
 	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (>= 1; omit for GOMAXPROCS)")
@@ -120,6 +128,7 @@ func run(args []string) error {
 	window := fs.Int("window", 0, "streaming mode: max cases resident at once (>= 1; omit for 2x parallelism)")
 	ashards := fs.Int("ashards", 0, "streaming mode: analysis shards, concurrent fold workers whose partials merge exactly (>= 1; omit for GOMAXPROCS)")
 	scopedSyms := fs.Bool("scoped-syms", false, "scope a fresh symbol table to this run's ingestion pass instead of the process-wide table (identical output; bounds retention in long-lived embeddings)")
+	casesRange := fs.String("cases", "", "archive input: restrict to the half-open case range a:b of the archive's file order (a:, :b, a:b)")
 	mergeSnaps := fs.String("merge-snapshots", "", "comma-separated STS snapshot files to merge as the input (dfg, stats, variants, info, footprint); replaces -traces/-archive/-dxt")
 	every := fs.Int("every", 0, "snapshot subcommand: checkpoint every N folded cases (omit or <= 0: one snapshot at the end)")
 	resume := fs.Bool("resume", false, "snapshot subcommand: resume from an existing -o snapshot, folding only unseen cases")
@@ -128,6 +137,9 @@ func run(args []string) error {
 	}
 	if err := validateCountFlags(fs, "j", "window", "ashards"); err != nil {
 		return err
+	}
+	if *casesRange != "" && *archivePath == "" {
+		return usagef("-cases requires -archive (the other backends have no case index to slice)")
 	}
 
 	// One scoped symbol universe per run: every backend of this
@@ -160,7 +172,15 @@ func run(args []string) error {
 		case *traces != "":
 			src, err = stinspector.StreamStraceDir(*traces, parseOpts(*window))
 		case *archivePath != "":
-			src, err = stinspector.StreamArchiveScoped(*archivePath, *jobs, *window, syms)
+			if *casesRange != "" {
+				var a, b int
+				if a, b, err = parseCaseRange(*casesRange); err != nil {
+					return nil, err
+				}
+				src, err = stinspector.StreamArchiveRange(*archivePath, a, b, *jobs, *window, syms)
+			} else {
+				src, err = stinspector.StreamArchiveScoped(*archivePath, *jobs, *window, syms)
+			}
 		case *dxtPath != "":
 			var f *os.File
 			f, err = os.Open(*dxtPath)
@@ -309,7 +329,20 @@ func run(args []string) error {
 		case *traces != "":
 			in, err = stinspector.FromStraceDir(*traces, parseOpts(0))
 		case *archivePath != "":
-			in, err = stinspector.FromArchiveScoped(*archivePath, *jobs, syms)
+			if *casesRange != "" {
+				var a, b int
+				if a, b, err = parseCaseRange(*casesRange); err != nil {
+					return nil, err
+				}
+				var src stinspector.Source
+				if src, err = stinspector.StreamArchiveRange(*archivePath, a, b, *jobs, 0, syms); err != nil {
+					return nil, err
+				}
+				in, err = stinspector.LoadStream(src, !*lenient)
+				src.Close()
+			} else {
+				in, err = stinspector.FromArchiveScoped(*archivePath, *jobs, syms)
+			}
 		case *dxtPath != "":
 			var f *os.File
 			f, err = os.Open(*dxtPath)
@@ -489,7 +522,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := stinspector.WriteArchive(*out, in.EventLog()); err != nil {
+		write := stinspector.WriteArchive
+		if *v2 {
+			write = stinspector.WriteArchiveV2
+		}
+		if err := write(*out, in.EventLog()); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s: %s\n", *out, in.Summary())
@@ -564,6 +601,32 @@ func validateCountFlags(fs *flag.FlagSet, names ...string) error {
 		}
 	})
 	return err
+}
+
+// parseCaseRange parses the -cases half-open range syntax: "a:b",
+// "a:" (to the archive's end), ":b" (from the start). The open end is
+// returned as -1; StreamArchiveRange resolves it against the archive.
+func parseCaseRange(s string) (int, int, error) {
+	as, bs, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, usagef("bad -cases %q (want a:b, a:, or :b)", s)
+	}
+	a, b := 0, -1
+	var err error
+	if as != "" {
+		if a, err = strconv.Atoi(as); err != nil || a < 0 {
+			return 0, 0, usagef("bad -cases start %q (want an index >= 0)", as)
+		}
+	}
+	if bs != "" {
+		if b, err = strconv.Atoi(bs); err != nil || b < 0 {
+			return 0, 0, usagef("bad -cases end %q (want an index >= 0)", bs)
+		}
+		if a > b {
+			return 0, 0, usagef("-cases %q: start beyond end", s)
+		}
+	}
+	return a, b, nil
 }
 
 // parseMapping parses the -map syntax.

@@ -83,6 +83,63 @@ func TestRunProfileTraces(t *testing.T) {
 	}
 }
 
+// TestRunFormatOutputs: the -format/-o selector writes each of the
+// three encodings, and all three parse back to the same deterministic
+// generator output — the CLI-level face of the v1↔v2 equivalence law.
+func TestRunFormatOutputs(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := profiles.Lookup("burst")
+	want := p.Generate("fmt", 4, 30, 3)
+	gen := func(format, path string) {
+		t.Helper()
+		args := []string{"-profile", "burst", "-cases", "4", "-events", "30",
+			"-seed", "3", "-cid", "fmt", "-format", format, "-o", path}
+		if err := run(args); err != nil {
+			t.Fatalf("run(-format %s): %v", format, err)
+		}
+	}
+
+	straceDir := filepath.Join(dir, "st")
+	gen("strace", straceDir)
+	in, err := stinspector.FromStraceDir(straceDir, stinspector.ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("parse back strace: %v", err)
+	}
+	if in.EventLog().NumEvents() != want.NumEvents() {
+		t.Errorf("strace events = %d, want %d", in.EventLog().NumEvents(), want.NumEvents())
+	}
+
+	v1 := filepath.Join(dir, "a.sta")
+	v2 := filepath.Join(dir, "a.sta2")
+	gen("sta", v1)
+	gen("sta2", v2)
+	el1, err := stinspector.ReadArchive(v1)
+	if err != nil {
+		t.Fatalf("read back v1: %v", err)
+	}
+	el2, err := stinspector.ReadArchive(v2)
+	if err != nil {
+		t.Fatalf("read back v2 (auto-detect): %v", err)
+	}
+	for _, el := range []*stinspector.EventLog{el1, el2} {
+		if el.NumEvents() != want.NumEvents() || el.NumCases() != want.NumCases() {
+			t.Errorf("archive = %d events/%d cases, want %d/%d",
+				el.NumEvents(), el.NumCases(), want.NumEvents(), want.NumCases())
+		}
+	}
+	for _, c := range el1.Cases() {
+		c2 := el2.Case(c.ID)
+		if c2 == nil || len(c2.Events) != len(c.Events) {
+			t.Fatalf("case %s differs across v1/v2", c.ID)
+		}
+		for i := range c.Events {
+			if c.Events[i] != c2.Events[i] {
+				t.Fatalf("case %s event %d differs across v1/v2: %+v vs %+v", c.ID, i, c.Events[i], c2.Events[i])
+			}
+		}
+	}
+}
+
 func TestRunListProfiles(t *testing.T) {
 	// -list-profiles succeeds without any output target.
 	if err := run([]string{"-list-profiles"}); err != nil {
@@ -101,6 +158,11 @@ func TestRunUsageErrors(t *testing.T) {
 		{"host with profile", []string{"-profile", "burst", "-host", "h", "-outdir", "x"}},
 		{"stray operand", []string{"-outdir", "x", "extra"}},
 		{"no output", []string{"-profile", "burst"}},
+		{"format without o", []string{"-format", "sta2"}},
+		{"o without format", []string{"-o", "x.sta2"}},
+		{"unknown format", []string{"-format", "hdf5", "-o", "x"}},
+		{"format with outdir", []string{"-format", "sta", "-o", "x", "-outdir", "d"}},
+		{"format with archive", []string{"-format", "sta", "-o", "x", "-archive", "a.sta"}},
 	} {
 		err := run(tc.args)
 		if cliutil.ExitCode(err) != 2 {

@@ -1,0 +1,57 @@
+package archive
+
+// STA v2 is the columnar, indexed, mmap-able successor of the v1
+// layout. v1 optimizes for simplicity: one self-contained section per
+// case with its own string dictionary, decoded through a symbol cache.
+// v2 optimizes re-ingestion: strings are interned once per file into a
+// single dictionary, sections carry only fixed-width-free integer
+// columns, and the index addresses every case (and, via per-column
+// lengths, every column) directly — so a reader maps the file, loads
+// the dictionary into its symbol table once, and decodes events without
+// hashing a single string or sorting a single row.
+//
+// Layout:
+//
+//	"STA2" | u32 version
+//	section*             (one per case, columnar; see below)
+//	dict                 (file-level symbol dictionary | u32 CRC)
+//	index                (case table with dictionary-encoded identities)
+//	u64 dict offset | u64 index offset | u32 index CRC | "2ATS"
+//
+// section (all row values for one case, stored column-major):
+//
+//	uvarint ordinal      (the case's index position, cross-checked)
+//	uvarint nEvents
+//	uvarint len ×6       (byte length of each column block)
+//	pid    varint[]
+//	call   uvarint[]     (file-dictionary symbols)
+//	start  varint first, then non-negative uvarint deltas
+//	dur    uvarint[]
+//	fp     uvarint[]     (file-dictionary symbols)
+//	size   varint[]
+//	u32 CRC              (over everything above)
+//
+// The dictionary is an intern.Local serialized in first-use order
+// (intern.AppendDict) — a pure function of the written content, so v2
+// output is byte-for-byte reproducible like v1. It doubles as the
+// string arena: the call and fp columns, and the index's CID/Host
+// fields, are all symbols into it. The index mirrors v1's (offset,
+// length, events per case) with identities dictionary-encoded.
+//
+// Every region is independently checksummed (sections and dict inline,
+// index from the footer), and the decoder validates claimed counts,
+// lengths, and symbol ids against the bytes actually present before
+// any allocation — mmap'd untrusted bytes raise the stakes, so v2
+// decode must fail closed exactly like v1's.
+const (
+	magicV2       = "STA2"
+	footerMagicV2 = "2ATS"
+	versionV2     = 2
+)
+
+// headerV2Size is the fixed head of the file: magic and version.
+const headerV2Size = 4 + 4
+
+// footerV2Size is the fixed tail: dict offset, index offset, index CRC,
+// magic.
+const footerV2Size = 8 + 8 + 4 + 4

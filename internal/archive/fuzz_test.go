@@ -113,6 +113,89 @@ func FuzzSectionDecode(f *testing.F) {
 	})
 }
 
+// FuzzArchiveV2Decode is FuzzSectionDecode for the v2 format: arbitrary
+// bytes through NewReader (which auto-detects and takes the columnar
+// path on the v2 magic) and the streaming decode at several
+// worker/window settings. The stakes are higher than v1's — production
+// readers decode v2 sections zero-copy from an mmap of untrusted bytes —
+// so the invariants are the same and non-negotiable: never panic,
+// always terminate, stream and ReadAll agree on verdict and contents.
+func FuzzArchiveV2Decode(f *testing.F) {
+	for seed := int64(1); seed <= 3; seed++ {
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, randLog(seed, int(seed)+1, 20)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/2] ^= 0x40
+		f.Add(mut)
+	}
+	if p, ok := profiles.Lookup("hostileargs"); ok {
+		var buf bytes.Buffer
+		if err := WriteV2(&buf, p.Generate("fz", 3, 12, 20240924)); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		mut := append([]byte(nil), buf.Bytes()...)
+		mut[len(mut)/3] ^= 0x11
+		f.Add(mut)
+	}
+	f.Add([]byte(magicV2))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReaderBytes(data)
+		if err != nil {
+			return
+		}
+		want, wantErr := r.ReadAll()
+		for _, cfg := range [][2]int{{1, 1}, {4, 2}, {3, 8}} {
+			src := r.Stream(cfg[0], cfg[1])
+			var events, cases int
+			var streamErr error
+			for {
+				c, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					streamErr = err
+					break
+				}
+				cases++
+				events += c.Len()
+			}
+			src.Close()
+			if (streamErr == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d window=%d: stream err %v, ReadAll err %v", cfg[0], cfg[1], streamErr, wantErr)
+			}
+			if wantErr == nil && (cases != want.NumCases() || events != want.NumEvents()) {
+				t.Fatalf("workers=%d window=%d: streamed %d cases / %d events, ReadAll %d / %d",
+					cfg[0], cfg[1], cases, events, want.NumCases(), want.NumEvents())
+			}
+		}
+		// Range slicing must stay within the same validity verdict: a
+		// decodable archive slices cleanly, a corrupt one never panics.
+		if wantErr == nil && want.NumCases() > 1 {
+			src := r.StreamRange(1, want.NumCases(), 2, 2)
+			n := 0
+			for {
+				c, err := src.Next()
+				if err != nil {
+					break
+				}
+				_ = c
+				n++
+			}
+			src.Close()
+			if n != want.NumCases()-1 {
+				t.Fatalf("range [1,n) streamed %d cases, want %d", n, want.NumCases()-1)
+			}
+		}
+	})
+}
+
 // Robustness: random byte blobs presented as archives must never panic.
 func TestReaderRandomBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package archive
+
+import "os"
+
+// mmapFile reports that mapping is unavailable; readers use the ReadAt
+// fallback path on these platforms.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, bool) {
+	return nil, nil, false
+}

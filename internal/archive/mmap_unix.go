@@ -1,0 +1,25 @@
+//go:build unix
+
+package archive
+
+import (
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only, returning the mapping, its
+// release function, and whether mapping succeeded. Failure is not an
+// error — callers fall back to ReadAt — so files that cannot be mapped
+// (empty, larger than the address space, exotic filesystems) still
+// open.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, bool) {
+	if size <= 0 || uint64(size) > uint64(math.MaxInt) {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return data, func() error { return syscall.Munmap(data) }, true
+}

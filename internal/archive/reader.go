@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -16,10 +17,13 @@ import (
 // Reader provides random access to the cases of an STA file, the
 // counterpart of the paper's "each case is stored in a separate group
 // within the HDF5 file": single cases can be loaded without materializing
-// the whole event-log.
+// the whole event-log. One Reader serves both format versions — Open and
+// NewReader detect v1 vs v2 from the magic — and every decode API below
+// behaves identically on either.
 type Reader struct {
 	src     io.ReaderAt
 	closer  io.Closer
+	ver     uint32
 	entries []indexEntry
 	byID    map[trace.CaseID]int
 	syms    *intern.Table // nil = intern.Default
@@ -29,6 +33,19 @@ type Reader struct {
 	// table collectable once the reader is dropped; Default-bound
 	// caches use the process-wide intern pool instead.
 	caches sync.Pool
+
+	// v2 state. data, when non-nil, is a whole-file view (an mmap from
+	// Open, or the caller's buffer from NewReaderBytes) that section
+	// decodes slice zero-copy; otherwise sections are fetched through
+	// src with pooled buffers. dict is the file-level symbol dictionary,
+	// and resolved its remap into the bound symbol table, built once per
+	// binding under resolveOnce (see resolve).
+	data        []byte
+	unmap       func() error
+	dict        *intern.Local
+	resolved    []string
+	resolveOnce *sync.Once
+	secBufs     sync.Pool
 }
 
 // SetSyms scopes subsequent case decodes to the given symbol table
@@ -44,6 +61,12 @@ func (r *Reader) SetSyms(t *intern.Table) {
 		t = nil
 	}
 	r.syms = t
+	if r.ver == versionV2 {
+		// Invalidate the dictionary remap: the next decode rebuilds it
+		// against the new table.
+		r.resolved = nil
+		r.resolveOnce = new(sync.Once)
+	}
 }
 
 // getCache hands a decode worker a cache over the reader's symbol
@@ -70,7 +93,11 @@ func (r *Reader) putCache(c *intern.Cache) {
 	}
 }
 
-// Open opens an STA file for random access.
+// Open opens an STA file for random access. v2 files are additionally
+// memory-mapped where the platform allows it, so section decodes slice
+// the page cache directly instead of issuing a read per case; when
+// mapping is unavailable or fails, the reader transparently uses the
+// same ReadAt path as NewReader.
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -87,10 +114,30 @@ func Open(path string) (*Reader, error) {
 		return nil, err
 	}
 	r.closer = f
+	if r.ver == versionV2 {
+		if data, unmap, ok := mmapFile(f, st.Size()); ok {
+			r.data, r.unmap = data, unmap
+		}
+	}
 	return r, nil
 }
 
-// NewReader opens an STA image of the given size from any io.ReaderAt.
+// NewReaderBytes opens an in-memory STA image. v2 sections decode
+// zero-copy straight from data; the caller must not mutate it while the
+// reader is in use.
+func NewReaderBytes(data []byte) (*Reader, error) {
+	r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, err
+	}
+	if r.ver == versionV2 {
+		r.data = data
+	}
+	return r, nil
+}
+
+// NewReader opens an STA image of the given size from any io.ReaderAt,
+// detecting the format version from the magic.
 func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	if size < int64(len(magic))+4+footerSize {
 		return nil, corrupt("file too small (%d bytes)", size)
@@ -99,13 +146,17 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	if _, err := src.ReadAt(head, 0); err != nil {
 		return nil, err
 	}
-	if string(head[:4]) != magic {
-		return nil, corrupt("bad magic %q", head[:4])
-	}
 	c := &cursor{b: head, off: 4}
 	ver, err := c.u32()
 	if err != nil {
 		return nil, err
+	}
+	switch string(head[:4]) {
+	case magic:
+	case magicV2:
+		return newReaderV2(src, size, ver)
+	default:
+		return nil, corrupt("bad magic %q", head[:4])
 	}
 	if ver != version {
 		return nil, fmt.Errorf("archive: unsupported version %d", ver)
@@ -150,7 +201,7 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	if n > uint64(ic.remaining())/6 {
 		return nil, corrupt("index claims %d cases in %d bytes", n, ic.remaining())
 	}
-	r := &Reader{src: src, byID: make(map[trace.CaseID]int, n)}
+	r := &Reader{src: src, ver: version, byID: make(map[trace.CaseID]int, n)}
 	for i := uint64(0); i < n; i++ {
 		var ent indexEntry
 		if ent.id.CID, err = ic.str(); err != nil {
@@ -184,12 +235,22 @@ func NewReader(src io.ReaderAt, size int64) (*Reader, error) {
 	return r, nil
 }
 
-// Close releases the underlying file when the reader owns one.
+// Close releases the mapping (if any) and the underlying file when the
+// reader owns one. Streams obtained from the reader must be closed (or
+// fully drained) first: their Close joins the decode workers, which is
+// what makes unmapping here safe.
 func (r *Reader) Close() error {
-	if r.closer != nil {
-		return r.closer.Close()
+	var err error
+	if r.unmap != nil {
+		err = r.unmap()
+		r.unmap, r.data = nil, nil
 	}
-	return nil
+	if r.closer != nil {
+		if cerr := r.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Cases lists the stored case identities in file order.
@@ -219,6 +280,23 @@ func (r *Reader) ReadCase(id trace.CaseID) (*trace.Case, error) {
 	i, ok := r.byID[id]
 	if !ok {
 		return nil, fmt.Errorf("archive: no case %s", id)
+	}
+	return r.readAt(i)
+}
+
+// ReadCaseAt loads the case at position i of the file order — O(1) in
+// the archive size, since the index addresses every section directly.
+func (r *Reader) ReadCaseAt(i int) (*trace.Case, error) {
+	if i < 0 || i >= len(r.entries) {
+		return nil, fmt.Errorf("archive: case index %d out of range [0,%d)", i, len(r.entries))
+	}
+	return r.readAt(i)
+}
+
+// readAt decodes the case at index position i via the version's path.
+func (r *Reader) readAt(i int) (*trace.Case, error) {
+	if r.ver == versionV2 {
+		return r.readEntryV2(i)
 	}
 	return r.readEntry(r.entries[i])
 }
@@ -260,9 +338,26 @@ func (r *Reader) ReadAllParallel(parallelism int) (*trace.EventLog, error) {
 // log ever being materialized. The source does not own the underlying
 // file; Close cancels outstanding decodes but leaves the Reader open.
 func (r *Reader) Stream(parallelism, window int) source.Source {
-	return source.Ordered(len(r.entries), parallelism, window, func(i int) (*trace.Case, error) {
-		return r.readEntry(r.entries[i])
-	})
+	return r.StreamRange(0, len(r.entries), parallelism, window)
+}
+
+// StreamRange is Stream over the half-open slice [a, b) of the file's
+// case order: the index addresses every section directly, so slicing
+// costs nothing beyond the cases actually decoded, whatever the archive
+// size. The bounds are clamped to [0, NumCases()]; an empty or inverted
+// range yields an immediately-exhausted source.
+func (r *Reader) StreamRange(a, b, parallelism, window int) source.Source {
+	n := len(r.entries)
+	if a < 0 {
+		a = 0
+	}
+	if b > n {
+		b = n
+	}
+	if a > b {
+		a = b
+	}
+	return source.OrderedRange(a, b, parallelism, window, r.readAt)
 }
 
 // ReadLog opens path and loads the full event-log in one call.
@@ -305,6 +400,29 @@ func StreamLogSyms(path string, parallelism, window int, t *intern.Table) (sourc
 	}
 	r.SetSyms(t)
 	return source.WithCloser(r.Stream(parallelism, window), r), nil
+}
+
+// StreamLogRangeSyms is StreamLogSyms restricted to the half-open case
+// range [a, b) of the archive's file order; b < 0 means NumCases. The
+// index addresses every section directly, so the cost is proportional
+// to the cases decoded, not the archive size. Unlike Reader.StreamRange
+// (which clamps), a range outside the archive is rejected here — this
+// is the entry point user-supplied ranges reach.
+func StreamLogRangeSyms(path string, a, b, parallelism, window int, t *intern.Table) (source.Source, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	n := r.NumCases()
+	if b < 0 {
+		b = n
+	}
+	if a < 0 || a > b || b > n {
+		r.Close()
+		return nil, fmt.Errorf("archive: case range [%d,%d) out of bounds for %d cases", a, b, n)
+	}
+	r.SetSyms(t)
+	return source.WithCloser(r.StreamRange(a, b, parallelism, window), r), nil
 }
 
 // decodeCase parses and verifies one case section. The per-case string
@@ -387,13 +505,21 @@ func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.
 		return dict[i], nil
 	}
 
-	events := make([]trace.Event, n)
+	// nil for an empty case, exactly as NewCase builds — decoded cases
+	// must be indistinguishable from in-memory ones.
+	var events []trace.Event
+	if n > 0 {
+		events = make([]trace.Event, n)
+	}
 	for i := range events {
 		pid, err := bc.varint()
 		if err != nil {
 			return nil, err
 		}
 		events[i].PID = int(pid)
+		events[i].CID = id.CID
+		events[i].Host = id.Host
+		events[i].RID = id.RID
 	}
 	for i := range events {
 		cid, err := bc.uvarint()
@@ -447,5 +573,9 @@ func decodeCase(section []byte, want trace.CaseID, cache *intern.Cache) (*trace.
 			return nil, err
 		}
 	}
-	return trace.NewCase(id, events), nil
+	// The start column's non-negative deltas prove the events are already
+	// in Equation (2) order, and the identity was stamped in the pid
+	// loop, so NewCase — which would clone the freshly built slice and
+	// stable-sort the already-sorted rows — is pure overhead here.
+	return &trace.Case{ID: id, Events: events}, nil
 }

@@ -1,0 +1,381 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"stinspector/internal/intern"
+	"stinspector/internal/trace"
+)
+
+// newReaderV2 finishes opening a reader whose head identified an STA v2
+// image: it loads and verifies the footer, dictionary, and index. All
+// counts, offsets, and symbol ids come from untrusted bytes and are
+// validated against the regions that actually exist before any sized
+// allocation or slice, mirroring the v1 guards.
+func newReaderV2(src io.ReaderAt, size int64, ver uint32) (*Reader, error) {
+	if ver != versionV2 {
+		return nil, fmt.Errorf("archive: unsupported version %d", ver)
+	}
+	if size < headerV2Size+footerV2Size {
+		return nil, corrupt("file too small (%d bytes)", size)
+	}
+	foot := make([]byte, footerV2Size)
+	if _, err := src.ReadAt(foot, size-footerV2Size); err != nil {
+		return nil, err
+	}
+	if string(foot[footerV2Size-4:]) != footerMagicV2 {
+		return nil, corrupt("bad footer magic %q", foot[footerV2Size-4:])
+	}
+	dictOffset := binary.LittleEndian.Uint64(foot)
+	indexOffset := binary.LittleEndian.Uint64(foot[8:])
+	indexCRC := binary.LittleEndian.Uint32(foot[16:])
+	if indexOffset > uint64(size-footerV2Size) {
+		return nil, corrupt("index offset %d beyond file", indexOffset)
+	}
+	if dictOffset < headerV2Size || dictOffset > indexOffset {
+		return nil, corrupt("dictionary region [%d,%d) out of order", dictOffset, indexOffset)
+	}
+	// The dictionary region is its payload plus a trailing CRC; even an
+	// empty dictionary needs a count byte.
+	if indexOffset-dictOffset < 5 {
+		return nil, corrupt("dictionary region of %d bytes too small", indexOffset-dictOffset)
+	}
+
+	dictRegion := make([]byte, indexOffset-dictOffset)
+	if _, err := src.ReadAt(dictRegion, int64(dictOffset)); err != nil {
+		return nil, err
+	}
+	payload := dictRegion[:len(dictRegion)-4]
+	if checksum(payload) != binary.LittleEndian.Uint32(dictRegion[len(dictRegion)-4:]) {
+		return nil, corrupt("dictionary checksum mismatch")
+	}
+	dict, err := intern.DecodeDict(payload)
+	if err != nil {
+		return nil, corrupt("dictionary: %v", err)
+	}
+
+	idx := make([]byte, uint64(size-footerV2Size)-indexOffset)
+	if _, err := src.ReadAt(idx, int64(indexOffset)); err != nil {
+		return nil, err
+	}
+	if checksum(idx) != indexCRC {
+		return nil, corrupt("index checksum mismatch")
+	}
+
+	ic := &cursor{b: idx}
+	n, err := ic.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every index entry needs at least 6 bytes (six one-byte varints),
+	// so a count the index bytes cannot hold is corruption, not an
+	// allocation request.
+	if n > uint64(ic.remaining())/6 {
+		return nil, corrupt("index claims %d cases in %d bytes", n, ic.remaining())
+	}
+	nsyms := uint64(dict.Len())
+	r := &Reader{
+		src:         src,
+		ver:         versionV2,
+		dict:        dict,
+		resolveOnce: new(sync.Once),
+		byID:        make(map[trace.CaseID]int, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		var ent indexEntry
+		cidSym, err := ic.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		hostSym, err := ic.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if cidSym >= nsyms || hostSym >= nsyms {
+			return nil, corrupt("case %d identity symbols (%d,%d) beyond dictionary of %d", i, cidSym, hostSym, nsyms)
+		}
+		ent.cidSym, ent.hostSym = uint32(cidSym), uint32(hostSym)
+		ent.id.CID = dict.Str(intern.Sym(cidSym))
+		ent.id.Host = dict.Str(intern.Sym(hostSym))
+		rid, err := ic.varint()
+		if err != nil {
+			return nil, err
+		}
+		ent.id.RID = int(rid)
+		if ent.offset, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		if ent.length, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		if ent.events, err = ic.uvarint(); err != nil {
+			return nil, err
+		}
+		// Sections live strictly between the header and the dictionary.
+		// Compare without computing offset+length: hostile values near
+		// MaxUint64 would wrap the sum back into range.
+		if ent.offset < headerV2Size || ent.length > dictOffset || ent.offset > dictOffset-ent.length {
+			return nil, corrupt("case %s section [%d,+%d) outside data region", ent.id, ent.offset, ent.length)
+		}
+		r.byID[ent.id] = len(r.entries)
+		r.entries = append(r.entries, ent)
+	}
+	return r, nil
+}
+
+// resolve returns the dictionary remapped into the reader's current
+// symbol table: resolve()[fileSym] is the canonical string. The remap
+// runs once per table binding — the near-zero-parse property: after it,
+// section decode touches no hash table and allocates no strings.
+// Concurrent decode workers share the one remap via the Once; SetSyms
+// (documented as not concurrent with decodes) installs a fresh Once.
+func (r *Reader) resolve() []string {
+	r.resolveOnce.Do(func() {
+		cache := r.getCache()
+		r.resolved = r.dict.RemapIntoTable(cache)
+		r.putCache(cache)
+	})
+	return r.resolved
+}
+
+func (r *Reader) readEntryV2(i int) (*trace.Case, error) {
+	ent := &r.entries[i]
+	resolved := r.resolve()
+	if r.data != nil {
+		// Zero-copy: the section is a subslice of the mapping; decode
+		// copies every value out, so nothing escapes the mmap lifetime.
+		sec := r.data[ent.offset : ent.offset+ent.length]
+		return decodeCaseV2(sec, i, ent, resolved)
+	}
+	bp, _ := r.secBufs.Get().(*[]byte)
+	if bp == nil || uint64(cap(*bp)) < ent.length {
+		b := make([]byte, ent.length)
+		bp = &b
+	}
+	sec := (*bp)[:ent.length]
+	defer r.secBufs.Put(bp)
+	if _, err := r.src.ReadAt(sec, int64(ent.offset)); err != nil {
+		return nil, err
+	}
+	return decodeCaseV2(sec, i, ent, resolved)
+}
+
+// colCursor is the hot-path varint decoder for v2 column blocks. Unlike
+// cursor it does not return an error per value: column byte ranges are
+// pre-sliced from the section header, so a malformed varint can only
+// arise inside one column, and the per-column done() check after the
+// loop catches it. The single-byte fast path covers the common small
+// values (symbols, short durations) without the binary.Uvarint call.
+type colCursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (c *colCursor) uvarint() uint64 {
+	b, i := c.b, c.off
+	if i < len(b) {
+		if b0 := b[i]; b0 < 0x80 {
+			c.off = i + 1
+			return uint64(b0)
+		}
+	}
+	return c.uvarintSlow()
+}
+
+// uvarintSlow decodes the multi-byte encodings, unrolled for the 2–4
+// byte lengths that dominate real columns (timestamps in nanoseconds,
+// transfer sizes): binary.Uvarint's generic loop would re-read byte 0
+// and pay its bounds check per byte.
+func (c *colCursor) uvarintSlow() uint64 {
+	b, i := c.b, c.off
+	if i+1 < len(b) {
+		b0 := uint64(b[i] & 0x7f)
+		if b1 := b[i+1]; b1 < 0x80 {
+			c.off = i + 2
+			return b0 | uint64(b1)<<7
+		} else if i+2 < len(b) {
+			b1 := uint64(b1 & 0x7f)
+			if b2 := b[i+2]; b2 < 0x80 {
+				c.off = i + 3
+				return b0 | b1<<7 | uint64(b2)<<14
+			} else if i+3 < len(b) {
+				if b3 := b[i+3]; b3 < 0x80 {
+					c.off = i + 4
+					return b0 | b1<<7 | uint64(b2&0x7f)<<14 | uint64(b3)<<21
+				}
+			}
+		}
+	}
+	v, n := binary.Uvarint(b[i:])
+	if n <= 0 {
+		c.bad = true
+		return 0
+	}
+	c.off = i + n
+	return v
+}
+
+func (c *colCursor) varint() int64 {
+	ux := c.uvarint()
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x
+}
+
+// done reports whether the column decoded cleanly and consumed exactly
+// its bytes — the v2 analogue of v1's per-value error checks, amortized
+// to one check per column.
+func (c *colCursor) done() bool { return !c.bad && c.off == len(c.b) }
+
+// decodeCaseV2 parses and verifies one columnar section. resolved is
+// the dictionary remap from resolve(); every string in the result is a
+// canonical table string, and no hashing, sorting, or event copying
+// happens here: the delta-encoded start column proves Equation (2)
+// order, so the events are assembled once, in place.
+func decodeCaseV2(sec []byte, ordinal int, ent *indexEntry, resolved []string) (*trace.Case, error) {
+	if len(sec) < 4 {
+		return nil, corrupt("case %s: section of %d bytes too small", ent.id, len(sec))
+	}
+	body := sec[:len(sec)-4]
+	if checksum(body) != binary.LittleEndian.Uint32(sec[len(sec)-4:]) {
+		return nil, corrupt("case %s: section checksum mismatch", ent.id)
+	}
+
+	c := &cursor{b: body}
+	ord, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// The ordinal binds section to index slot, catching an index whose
+	// offsets point at the wrong (but individually valid) sections.
+	if ord != uint64(ordinal) {
+		return nil, corrupt("section holds case %d, index says %d (%s)", ord, ordinal, ent.id)
+	}
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n != ent.events {
+		return nil, corrupt("case %s: section holds %d events, index says %d", ent.id, n, ent.events)
+	}
+	var colLen [6]uint64
+	for j := range colLen {
+		if colLen[j], err = c.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	var cols [6][]byte
+	for j, cl := range colLen {
+		if cl > uint64(c.remaining()) {
+			return nil, corrupt("case %s: column %d of %d bytes exceeds section", ent.id, j, cl)
+		}
+		cols[j] = body[c.off : c.off+int(cl) : c.off+int(cl)]
+		c.off += int(cl)
+		// Each event contributes at least one byte to every column, so a
+		// count a column cannot hold is corruption, not an allocation
+		// request.
+		if n > cl {
+			return nil, corrupt("case %s: %d events claimed in %d-byte column %d", ent.id, n, cl, j)
+		}
+	}
+	if c.remaining() != 0 {
+		return nil, corrupt("case %s: %d trailing bytes after columns", ent.id, c.remaining())
+	}
+
+	id := trace.CaseID{
+		CID:  resolved[ent.cidSym],
+		Host: resolved[ent.hostSym],
+		RID:  ent.id.RID,
+	}
+	// nil for an empty case, exactly as NewCase builds — decoded cases
+	// must be indistinguishable from in-memory ones.
+	var events []trace.Event
+	if n > 0 {
+		events = make([]trace.Event, n)
+	}
+
+	pc := colCursor{b: cols[0]}
+	for i := range events {
+		events[i].PID = int(pc.varint())
+		events[i].CID = id.CID
+		events[i].Host = id.Host
+		events[i].RID = id.RID
+	}
+	if !pc.done() {
+		return nil, corrupt("case %s: malformed pid column", id)
+	}
+
+	nres := uint64(len(resolved))
+	cc := colCursor{b: cols[1]}
+	for i := range events {
+		s := cc.uvarint()
+		if s >= nres {
+			return nil, corrupt("case %s: call symbol %d beyond dictionary of %d", id, s, nres)
+		}
+		events[i].Call = resolved[s]
+	}
+	if !cc.done() {
+		return nil, corrupt("case %s: malformed call column", id)
+	}
+
+	sc := colCursor{b: cols[2]}
+	prev := int64(0)
+	for i := range events {
+		if i == 0 {
+			prev = sc.varint()
+		} else {
+			d := sc.uvarint()
+			// Deltas are non-negative; a sum past MaxInt64 would wrap
+			// into a garbage (negative) timestamp instead of failing.
+			if d > math.MaxInt64 || prev > math.MaxInt64-int64(d) {
+				return nil, corrupt("case %s: start timestamp overflows at event %d", id, i)
+			}
+			prev += int64(d)
+		}
+		events[i].Start = time.Duration(prev)
+	}
+	if !sc.done() {
+		return nil, corrupt("case %s: malformed start column", id)
+	}
+
+	dc := colCursor{b: cols[3]}
+	for i := range events {
+		events[i].Dur = time.Duration(dc.uvarint())
+	}
+	if !dc.done() {
+		return nil, corrupt("case %s: malformed dur column", id)
+	}
+
+	fc := colCursor{b: cols[4]}
+	for i := range events {
+		s := fc.uvarint()
+		if s >= nres {
+			return nil, corrupt("case %s: fp symbol %d beyond dictionary of %d", id, s, nres)
+		}
+		events[i].FP = resolved[s]
+	}
+	if !fc.done() {
+		return nil, corrupt("case %s: malformed fp column", id)
+	}
+
+	zc := colCursor{b: cols[5]}
+	for i := range events {
+		events[i].Size = zc.varint()
+	}
+	if !zc.done() {
+		return nil, corrupt("case %s: malformed size column", id)
+	}
+
+	// The start column's non-negative deltas prove the events are already
+	// in Equation (2) order and they were stamped above, so NewCase's
+	// copy and stable sort would be pure overhead.
+	return &trace.Case{ID: id, Events: events}, nil
+}

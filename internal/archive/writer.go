@@ -8,12 +8,16 @@ import (
 	"stinspector/internal/trace"
 )
 
-// indexEntry locates one case section within the file.
+// indexEntry locates one case section within the file. The cidSym and
+// hostSym fields are the v2 dictionary encoding of the identity; v1
+// files leave them zero and carry the strings in id alone.
 type indexEntry struct {
-	id     trace.CaseID
-	offset uint64
-	length uint64
-	events uint64
+	id      trace.CaseID
+	cidSym  uint32
+	hostSym uint32
+	offset  uint64
+	length  uint64
+	events  uint64
 }
 
 // Write serializes the event-log into the STA format. Cases are written

@@ -1,0 +1,90 @@
+package intern
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dictionary serialization: the persisted form of a symbol table, used
+// by the STA v2 archive to store a file-level dictionary so readers can
+// load a run's symbols without re-canonicalizing per case. The format
+// is the natural one for a dense Local — a count followed by
+// length-prefixed strings in symbol order:
+//
+//	uvarint n | (uvarint len | bytes)*
+//
+// Symbols are positional: string i is Sym(i). The encoding carries no
+// checksum; containers (the archive) frame and checksum the block.
+
+// AppendDict appends the dictionary serialization of l to dst and
+// returns the extended slice. Output is a pure function of the interned
+// strings and their first-use order, so containers embedding a dict
+// stay byte-reproducible.
+func (l *Local) AppendDict(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(l.strs)))
+	for _, s := range l.strs {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeDict parses a dictionary produced by AppendDict, consuming
+// exactly len(data) bytes. The input is untrusted: claimed counts and
+// lengths are validated against the bytes actually present before any
+// sized allocation, and duplicate strings — which AppendDict can never
+// emit, since Local symbols are distinct — are rejected rather than
+// silently collapsed to a smaller table. Decoded strings are copied out
+// of data, so the caller may recycle (or unmap) the buffer afterwards.
+func DecodeDict(data []byte) (*Local, error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, fmt.Errorf("intern: bad dictionary count")
+	}
+	off := w
+	// Every string costs at least its one-byte length prefix, so a count
+	// the buffer cannot hold is corruption, not an allocation request.
+	if n > uint64(len(data)-off) {
+		return nil, fmt.Errorf("intern: dictionary claims %d strings in %d bytes", n, len(data)-off)
+	}
+	l := &Local{
+		m:    make(map[string]Sym, n),
+		strs: make([]string, 0, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		sl, w := binary.Uvarint(data[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("intern: bad dictionary string length at offset %d", off)
+		}
+		off += w
+		if sl > uint64(len(data)-off) {
+			return nil, fmt.Errorf("intern: dictionary string of %d bytes exceeds buffer at offset %d", sl, off)
+		}
+		s := string(data[off : off+int(sl)])
+		off += int(sl)
+		if _, dup := l.m[s]; dup {
+			return nil, fmt.Errorf("intern: duplicate dictionary string %q", s)
+		}
+		l.m[s] = Sym(len(l.strs))
+		l.strs = append(l.strs, s)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("intern: %d trailing bytes after dictionary", len(data)-off)
+	}
+	return l, nil
+}
+
+// RemapIntoTable is the Table-destination counterpart of RemapInto: it
+// canonicalizes every string of l through c (fronting either the
+// process-wide table or a scoped one) and returns r with r[y] the
+// canonical string for l.Str(y). As with RemapInto, meaning is
+// preserved exactly — r[y] == l.Str(y) for every y — but the returned
+// strings are the destination table's single retained copies, so N
+// readers sharing a vocabulary retain one string per distinct value.
+func (l *Local) RemapIntoTable(c *Cache) []string {
+	r := make([]string, len(l.strs))
+	for i, s := range l.strs {
+		r[i] = c.Canon(s)
+	}
+	return r
+}

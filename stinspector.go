@@ -214,6 +214,14 @@ func FromEventLog(el *EventLog) *Inspector { return core.FromEventLog(el) }
 // counterpart of the paper's HDF5 consolidation step.
 func WriteArchive(path string, el *EventLog) error { return archive.WriteFile(path, el) }
 
+// WriteArchiveV2 consolidates an event-log into an STA v2 file: the
+// columnar, indexed layout with a file-level symbol dictionary that
+// readers mmap and decode without re-parsing strings. Every reading API
+// here (FromArchive*, ReadArchive*, StreamArchive*) detects the version
+// automatically, so v2 is a drop-in replacement wherever re-ingestion
+// speed matters; WriteArchive keeps emitting v1 for compatibility.
+func WriteArchiveV2(path string, el *EventLog) error { return archive.WriteFileV2(path, el) }
+
 // ReadArchive loads an event-log from an STA file, decoding case
 // sections concurrently.
 func ReadArchive(path string) (*EventLog, error) { return archive.ReadLog(path) }
@@ -296,6 +304,17 @@ func StreamArchive(path string, parallelism, window int) (Source, error) {
 // collectable.
 func StreamArchiveScoped(path string, parallelism, window int, st *SymbolTable) (Source, error) {
 	return archive.StreamLogSyms(path, parallelism, window, st)
+}
+
+// StreamArchiveRange is StreamArchiveScoped restricted to the half-open
+// case range [a, b) of the archive's file order (b < 0 means "to the
+// end"; st nil means the process-wide table). The archive index
+// addresses every case section directly, so slicing costs only the
+// cases actually decoded whatever the file size — the O(1) case-slicing
+// primitive behind `stinspect -cases a:b`. A range outside the archive
+// is an error.
+func StreamArchiveRange(path string, a, b, parallelism, window int, st *SymbolTable) (Source, error) {
+	return archive.StreamLogRangeSyms(path, a, b, parallelism, window, st)
 }
 
 // StreamDXT streams the cases of a Darshan DXT text dump. The record

@@ -157,6 +157,46 @@ func TestStreamEquivalenceArchive(t *testing.T) {
 	})
 }
 
+// TestStreamEquivalenceArchiveV2: columnar STA v2 decode — the same
+// equivalence bar as the v1 archive, plus the cross-format law: the v1
+// and v2 encodings of one log must stream artifacts byte-identical to
+// each other (both are compared against the same in-memory baseline).
+func TestStreamEquivalenceArchiveV2(t *testing.T) {
+	log := synth.Log("eqa", 33, 200, 7)
+	var buf bytes.Buffer
+	if err := archive.WriteV2(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	r, err := archive.NewReaderBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := inMemoryArtifacts(el)
+	equivCheck(t, "sta2", want, func(p, w int, syms *SymbolTable) Source {
+		r.SetSyms(syms)
+		return r.Stream(p, w)
+	})
+
+	// Cross-format: the v1 encoding of the same log must yield the same
+	// artifact bytes (TestStreamEquivalenceArchive uses the same
+	// generator parameters, so this also pins the two tests together).
+	var v1 bytes.Buffer
+	if err := archive.Write(&v1, log); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := archive.NewReaderBytes(v1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := streamArtifacts(t, r1.Stream(2, 4), 2, true); got != want {
+		t.Errorf("v1 artifacts differ from v2 for the same log.\n--- v1 ---\n%s\n--- v2 ---\n%s", got, want)
+	}
+}
+
 // TestStreamEquivalenceDXT: Darshan DXT case construction.
 func TestStreamEquivalenceDXT(t *testing.T) {
 	log := synth.Log("dxt", 29, 180, 11)
@@ -237,6 +277,26 @@ func TestStreamEquivalenceProfiles(t *testing.T) {
 			equivCheck(t, p.Name+"/archive", inMemoryArtifacts(ael), func(pp, w int, syms *SymbolTable) Source {
 				r.SetSyms(syms)
 				return r.Stream(pp, w)
+			})
+
+			// Columnar STA v2 backend: decoded through the persisted
+			// file-level dictionary instead of per-case dicts, and the
+			// artifacts must not be able to tell.
+			var a2buf bytes.Buffer
+			if err := archive.WriteV2(&a2buf, log); err != nil {
+				t.Fatal(err)
+			}
+			r2, err := archive.NewReaderBytes(a2buf.Bytes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2el, err := r2.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			equivCheck(t, p.Name+"/sta2", inMemoryArtifacts(a2el), func(pp, w int, syms *SymbolTable) Source {
+				r2.SetSyms(syms)
+				return r2.Stream(pp, w)
 			})
 
 			// DXT backend (the dump only represents sized transfer calls;
