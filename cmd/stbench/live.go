@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"stinspector/internal/core"
+	"stinspector/internal/faultfs"
+	"stinspector/internal/pm"
+	"stinspector/internal/source"
+	"stinspector/internal/strace"
+	"stinspector/internal/synth"
+	"stinspector/internal/trace"
+)
+
+// liveConfig carries the -live/-rate/-budget settings into the live
+// follow benchmark.
+type liveConfig struct {
+	files  int
+	rate   float64 // target replay event rate, events/second
+	budget int     // in-flight case budget (0 = library default)
+}
+
+// lagSink wraps a live source to measure follow lag: the time from a
+// trace file's final byte hitting disk to the tailer pushing the
+// completed case. The lag floor is the tailer's completion grace plus
+// one poll — the price of never emitting a half-written case.
+type lagSink struct {
+	live   *source.Live
+	mu     sync.Mutex
+	done   map[string]time.Time
+	lags   []time.Duration
+	faults int
+}
+
+func (s *lagSink) wrote(name string) {
+	s.mu.Lock()
+	s.done[name] = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *lagSink) Push(c *trace.Case) error {
+	now := time.Now()
+	s.mu.Lock()
+	if t0, ok := s.done[c.ID.FileName()]; ok {
+		s.lags = append(s.lags, now.Sub(t0))
+	}
+	s.mu.Unlock()
+	return s.live.Push(c)
+}
+
+// Fail records recoverable follow faults without feeding them to the
+// fold: a fault would otherwise abort the fail-fast analysis pass, and
+// the replay injects none on purpose.
+func (s *lagSink) Fail(err error) {
+	s.mu.Lock()
+	s.faults++
+	s.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "stbench: live follow fault: %v\n", err)
+}
+
+func (s *lagSink) lagStats() (mean, max time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.lags) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, l := range s.lags {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	return sum / time.Duration(len(s.lags)), max
+}
+
+// liveStages benchmarks the whole live-ingestion pipeline — paced
+// chunked appends → fault-tolerant tailer → bounded live source →
+// sharded analysis fold — once per backpressure policy. Each pass
+// replays nFiles synthetic traces at the configured aggregate event
+// rate and reports the steady-state follow lag, the shed count, and
+// the peak resident cases alongside the usual throughput columns.
+func liveStages(cfg liveConfig, perFile, ashards int, seed int64) ([]benchStage, error) {
+	log := synth.Log("live", cfg.files, perFile, seed)
+	nEvents := log.NumEvents()
+	cases := log.Cases()
+	files := make(map[string][]byte, len(cases))
+	var bytes int64
+	for _, c := range cases {
+		var buf strings.Builder
+		if err := strace.NewWriter(&buf).WriteCase(c); err != nil {
+			return nil, err
+		}
+		files[c.ID.FileName()] = []byte(buf.String())
+		bytes += int64(buf.Len())
+	}
+	// One file completes every perFile/rate seconds, so the aggregate
+	// line rate across the replay matches -rate.
+	interval := time.Duration(float64(perFile) / cfg.rate * float64(time.Second))
+
+	budget := cfg.budget
+	if budget <= 0 {
+		budget = source.DefaultLiveBudget
+	}
+	fmt.Printf("\n%-32s %12s %14s %14s\n",
+		fmt.Sprintf("LIVE FOLLOW (rate=%.0f ev/s)", cfg.rate), "WALL", "LAG mean/max", "SHED/PEAK")
+
+	var stages []benchStage
+	for _, policy := range []source.Policy{source.Block, source.ShedOldest} {
+		live := source.NewLive(budget, policy)
+		sink := &lagSink{live: live, done: make(map[string]time.Time, len(cases))}
+
+		dir, err := os.MkdirTemp("", "stbench-live")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		tailer := strace.TailDir(dir, sink, strace.FollowOptions{
+			Options: strace.Options{Strict: true},
+			Poll:    2 * time.Millisecond,
+			Grace:   10 * time.Millisecond,
+			Seed:    seed,
+		})
+		tailer.Start()
+
+		var res *core.StreamResult
+		foldErr := make(chan error, 1)
+		go func() {
+			var err error
+			res, err = core.AnalyzeStreamParallel(live, pm.CallTopDirs{Depth: 2}, ashards, false)
+			foldErr <- err
+		}()
+
+		app := faultfs.NewAppender(dir, seed, faultfs.Plan{Chunk: 2048})
+		wall, allocs, err := measured(func() error {
+			next := time.Now()
+			for _, c := range cases {
+				name := c.ID.FileName()
+				if err := app.Replay(name, files[name]); err != nil {
+					return err
+				}
+				sink.wrote(name)
+				next = next.Add(interval)
+				time.Sleep(time.Until(next))
+			}
+			tailer.Drain()
+			live.Finish()
+			return <-foldErr
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer live.Close()
+
+		folded := int(live.Pushed() - live.Shed())
+		if res.Cases != folded {
+			return nil, fmt.Errorf("live fold (%s) lost cases: folded %d, delivered %d", policy, res.Cases, folded)
+		}
+		if policy == source.Block && res.Events != nEvents {
+			return nil, fmt.Errorf("live fold (block) dropped events: got %d, want %d", res.Events, nEvents)
+		}
+		if st := tailer.Stats(); st.PartialDrops != 0 || st.ParseSkips != 0 || sink.faults != 0 {
+			return nil, fmt.Errorf("live follow (%s) saw unexpected faults: %+v, sink faults %d", policy, st, sink.faults)
+		}
+
+		mean, max := sink.lagStats()
+		s := benchStage{
+			Stage:        "live_follow_" + strings.ReplaceAll(policy.String(), "-", "_"),
+			WallNS:       wall.Nanoseconds(),
+			MBPerS:       float64(bytes) / 1e6 / wall.Seconds(),
+			EventsPerS:   float64(res.Events) / wall.Seconds(),
+			LagMeanNS:    mean.Nanoseconds(),
+			LagMaxNS:     max.Nanoseconds(),
+			Shed:         live.Shed(),
+			PeakResident: live.PeakResident(),
+		}
+		if nEvents > 0 {
+			s.AllocsPerEvent = float64(allocs) / float64(nEvents)
+		}
+		stages = append(stages, s)
+		fmt.Printf("%-32s %12v %6v /%6v %6d /%5d\n",
+			policy.String(), wall.Round(time.Millisecond), mean.Round(time.Millisecond), max.Round(time.Millisecond),
+			live.Shed(), live.PeakResident())
+	}
+	return stages, nil
+}
+
+// liveBench is the standalone -live mode: the live stages plus the
+// JSON report.
+func liveBench(cfg liveConfig, perFile, ashards int, seed int64, jsonPath string) error {
+	if ashards <= 0 {
+		ashards = runtime.GOMAXPROCS(0)
+	}
+	stages, err := liveStages(cfg, perFile, ashards, seed)
+	if err != nil {
+		return err
+	}
+	return writeStages(jsonPath, stages)
+}

@@ -92,6 +92,9 @@ func run(args []string) error {
 	ckptDir := fs.String("checkpoint", "", "-ingest mode: also time the checkpointed analysis fold, writing snapshots into this directory")
 	ckptEvery := fs.Int("checkpoint-every", 0, "-ingest mode: checkpoint epoch size in cases (0 = one snapshot at the end)")
 	resume := fs.Bool("resume", false, "-ingest mode: resume the checkpointed fold from an existing snapshot in -checkpoint")
+	liveFiles := fs.Int("live", 0, "benchmark live follow-mode ingestion over this many paced synthetic trace files (standalone or with -ingest)")
+	rate := fs.Float64("rate", 50000, "-live mode: target replay event rate in events/second")
+	budget := fs.Int("budget", 0, "-live mode: in-flight case budget for the bounded live source (0 = library default)")
 	matrix := fs.Bool("matrix", false, "run the scenario matrix: profile × backend × shards × scoped-syms sweep")
 	mcases := fs.Int("mcases", 8, "matrix mode: cases per cell")
 	mevents := fs.Int("mevents", 120, "matrix mode: events per case")
@@ -111,9 +114,24 @@ func run(args []string) error {
 	if *ingest < 0 {
 		return usagef("-ingest must not be negative (got %d); omit it to run figures", *ingest)
 	}
+	if *liveFiles < 0 {
+		return usagef("-live must not be negative (got %d); omit it to skip the live stages", *liveFiles)
+	}
+	if *budget < 0 {
+		return usagef("-budget must not be negative (got %d); 0 selects the library default", *budget)
+	}
+	if *rate <= 0 {
+		return usagef("-rate must be positive (got %g)", *rate)
+	}
 
 	if *matrix && *ingest > 0 {
 		return usagef("-matrix and -ingest are mutually exclusive")
+	}
+	if *matrix && *liveFiles > 0 {
+		return usagef("-matrix and -live are mutually exclusive")
+	}
+	if *budget != 0 && *liveFiles == 0 {
+		return usagef("-budget requires -live")
 	}
 	if *matrix {
 		if *scopedSyms {
@@ -140,21 +158,27 @@ func run(args []string) error {
 	if *ckptEvery < 0 {
 		return usagef("-checkpoint-every must not be negative (got %d); 0 snapshots once at the end", *ckptEvery)
 	}
-	if *ingest > 0 {
+	if *ingest > 0 || *liveFiles > 0 {
 		if *events < 1 {
-			return usagef("-events must be at least 1 in -ingest mode (got %d)", *events)
+			return usagef("-events must be at least 1 in -ingest/-live mode (got %d)", *events)
 		}
+	}
+	lcfg := liveConfig{files: *liveFiles, rate: *rate, budget: *budget}
+	if *ingest > 0 {
 		ckpt := checkpointConfig{dir: *ckptDir, every: *ckptEvery, resume: *resume}
-		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms, ckpt)
+		return ingestBench(*ingest, *events, *jobs, *window, *ashards, *seed, *jsonPath, *scopedSyms, ckpt, lcfg)
 	}
 	if *ckptDir != "" {
 		return usagef("-checkpoint requires -ingest mode")
 	}
-	if *jsonPath != "" {
-		return usagef("-json requires -ingest or -matrix mode")
-	}
 	if *scopedSyms {
 		return usagef("-scoped-syms requires -ingest mode")
+	}
+	if *liveFiles > 0 {
+		return liveBench(lcfg, *events, *ashards, *seed, *jsonPath)
+	}
+	if *jsonPath != "" {
+		return usagef("-json requires -ingest, -live or -matrix mode")
 	}
 
 	scale := experiments.Scale{
@@ -205,6 +229,30 @@ type benchStage struct {
 	MBPerS         float64 `json:"mb_per_s"`
 	EventsPerS     float64 `json:"events_per_s"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// Live-follow stages only (see cmd/stbench/live.go): steady-state
+	// follow lag, cases shed by the backpressure policy, and the peak
+	// in-flight case count against the budget.
+	LagMeanNS    int64  `json:"lag_mean_ns,omitempty"`
+	LagMaxNS     int64  `json:"lag_max_ns,omitempty"`
+	Shed         uint64 `json:"shed,omitempty"`
+	PeakResident int    `json:"peak_resident,omitempty"`
+}
+
+// writeStages writes the stage table as the BENCH JSON artifact
+// (no-op when path is empty).
+func writeStages(jsonPath string, stages []benchStage) error {
+	if jsonPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(stages, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d stages)\n", jsonPath, len(stages))
+	return nil
 }
 
 // measured times f and reports the global allocation delta around it
@@ -239,7 +287,7 @@ type checkpointConfig struct {
 	resume bool
 }
 
-func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string, scoped bool, ckpt checkpointConfig) error {
+func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPath string, scoped bool, ckpt checkpointConfig, live liveConfig) error {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
@@ -572,15 +620,13 @@ func ingestBench(nFiles, perFile, jobs, window, ashards int, seed int64, jsonPat
 		fmt.Printf("checkpoint overhead vs sharded fold: %.2fx\n", cw.Seconds()/apar.Seconds())
 	}
 
-	if jsonPath != "" {
-		out, err := json.MarshalIndent(stages, "", "  ")
+	if live.files > 0 {
+		ls, err := liveStages(live, perFile, ashards, seed)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s (%d stages)\n", jsonPath, len(stages))
+		stages = append(stages, ls...)
 	}
-	return nil
+
+	return writeStages(jsonPath, stages)
 }

@@ -132,6 +132,72 @@ func TestRunIngestBenchJSON(t *testing.T) {
 	}
 }
 
+// TestRunLiveBench drives the standalone -live mode: a paced replay
+// through the follow tailer and the bounded live source per
+// backpressure policy, with the live metrics in the JSON table.
+func TestRunLiveBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_live.json")
+	err := run([]string{"-live", "4", "-events", "40", "-rate", "40000", "-ashards", "2", "-budget", "8", "-json", path})
+	if err != nil {
+		t.Fatalf("run(-live): %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []benchStage
+	if err := json.Unmarshal(b, &stages); err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2 (one per policy)", len(stages))
+	}
+	names := map[string]bool{}
+	for _, s := range stages {
+		names[s.Stage] = true
+		if s.WallNS <= 0 || s.EventsPerS <= 0 || s.MBPerS <= 0 {
+			t.Errorf("stage %s has non-positive throughput: %+v", s.Stage, s)
+		}
+		if s.LagMeanNS <= 0 || s.LagMaxNS < s.LagMeanNS {
+			t.Errorf("stage %s has implausible lag: mean %d, max %d", s.Stage, s.LagMeanNS, s.LagMaxNS)
+		}
+		if s.PeakResident < 1 {
+			t.Errorf("stage %s saw no resident cases", s.Stage)
+		}
+	}
+	for _, want := range []string{"live_follow_block", "live_follow_shed_oldest"} {
+		if !names[want] {
+			t.Errorf("missing stage %q in %v", want, names)
+		}
+	}
+}
+
+// TestRunIngestWithLiveStages: -live composes with -ingest into one
+// stage table, so a single BENCH_ingest.json covers batch and live
+// ingestion.
+func TestRunIngestWithLiveStages(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	err := run([]string{"-ingest", "6", "-events", "40", "-j", "2", "-ashards", "2",
+		"-live", "4", "-rate", "40000", "-json", path})
+	if err != nil {
+		t.Fatalf("run(-ingest -live): %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []benchStage
+	if err := json.Unmarshal(b, &stages); err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 9 {
+		t.Fatalf("got %d stages, want 9 (7 ingest + 2 live)", len(stages))
+	}
+	if stages[7].Stage != "live_follow_block" || stages[8].Stage != "live_follow_shed_oldest" {
+		t.Errorf("live stages not appended: %s, %s", stages[7].Stage, stages[8].Stage)
+	}
+}
+
 // TestRunJSONRequiresIngest: -json outside -ingest mode is a usage
 // error.
 func TestRunJSONRequiresIngest(t *testing.T) {
@@ -176,6 +242,13 @@ func TestRunUsageExitCodes(t *testing.T) {
 		{"checkpoint-every without checkpoint", []string{"-ingest", "4", "-checkpoint-every", "2"}, 2},
 		{"resume without checkpoint", []string{"-ingest", "4", "-resume"}, 2},
 		{"negative checkpoint-every", []string{"-ingest", "4", "-checkpoint", "d", "-checkpoint-every", "-1"}, 2},
+		{"negative -live", []string{"-live", "-2"}, 2},
+		{"zero -rate", []string{"-live", "4", "-rate", "0"}, 2},
+		{"negative -rate", []string{"-live", "4", "-rate", "-100"}, 2},
+		{"negative -budget", []string{"-live", "4", "-budget", "-1"}, 2},
+		{"budget without live", []string{"-ingest", "4", "-budget", "8"}, 2},
+		{"live with matrix", []string{"-matrix", "-live", "4"}, 2},
+		{"zero -events in live mode", []string{"-live", "4", "-events", "0"}, 2},
 	}
 	for _, tc := range cases {
 		err := run(tc.args)

@@ -33,6 +33,11 @@ type CheckpointOptions struct {
 	// the cases it has not seen. A missing snapshot file is a fresh
 	// start, not an error.
 	Resume bool
+	// OnEpoch, when set, is called after each successful checkpoint
+	// write with the total number of cases the checkpoint now covers.
+	// It runs on the fold goroutine: long-lived callers (the serving
+	// layer's watchdog) should only record progress here, not block.
+	OnEpoch func(cases int)
 }
 
 func (o *CheckpointOptions) path() string {
@@ -98,6 +103,9 @@ func AnalyzeStreamCheckpointed(src source.Source, m pm.Mapping, shards int, join
 		acc = snapshot.Merge(acc, epoch)
 		if err := snapshot.WriteFile(path, acc); err != nil {
 			return nil, err
+		}
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(len(acc.Seen))
 		}
 		if limited.eof {
 			break

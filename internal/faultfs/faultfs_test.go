@@ -1,0 +1,227 @@
+package faultfs_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stinspector/internal/faultfs"
+	"stinspector/internal/strace"
+)
+
+// The whole point of the harness: it must be usable where the tailer
+// expects its filesystem.
+var _ strace.TailFS = fsAdapter{}
+
+// fsAdapter proves *faultfs.FS satisfies the strace.TailFS method set
+// without faultfs importing strace (which would cycle through the
+// follow tests). The only adaptation is the concrete-to-interface
+// return type of Open.
+type fsAdapter struct{ fs *faultfs.FS }
+
+func (a fsAdapter) Names() ([]string, error)           { return a.fs.Names() }
+func (a fsAdapter) FileID(name string) (uint64, error) { return a.fs.FileID(name) }
+func (a fsAdapter) Open(name string) (strace.TailFile, error) {
+	f, err := a.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func readAll(t *testing.T, fs *faultfs.FS, name string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for {
+		f, err := fs.Open(name)
+		var inj *faultfs.InjectedError
+		if errors.As(err, &inj) {
+			continue // transient by contract: retry
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Reset()
+		p := make([]byte, 64)
+		for {
+			n, err := f.Read(p)
+			buf.Write(p[:n])
+			if err == io.EOF {
+				f.Close()
+				return buf.Bytes()
+			}
+			if errors.As(err, &inj) {
+				continue // handle stays usable after an injected read fault
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestFSFaultsFireAndRecover: injected open and read faults fire on
+// schedule, are typed and Temporary, and a retrying reader still gets
+// the exact file bytes through short reads.
+func TestFSFaultsFireAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	want := bytes.Repeat([]byte("0123456789abcdef\n"), 40)
+	if err := os.WriteFile(filepath.Join(dir, "a.st"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := faultfs.New(dir, 42, faultfs.Faults{
+		OpenFailEveryN: 2,
+		ReadFailEveryN: 5,
+		ShortReadMax:   7,
+	})
+
+	got := readAll(t, fs, "a.st")
+	if !bytes.Equal(got, want) {
+		t.Fatalf("content diverged through faults: got %d bytes, want %d", len(got), len(want))
+	}
+	if fs.InjectedReads.Load() == 0 {
+		t.Error("no read faults fired")
+	}
+
+	var inj *faultfs.InjectedError
+	_, err := fs.Open("a.st") // one of the next two opens is scheduled to fail
+	if err == nil {
+		_, err = fs.Open("a.st")
+	}
+	if !errors.As(err, &inj) {
+		t.Fatalf("expected InjectedError from scheduled open fault, got %v", err)
+	}
+	if !inj.Temporary() {
+		t.Error("injected fault not Temporary")
+	}
+	if fs.InjectedOpens.Load() == 0 {
+		t.Error("no open faults fired")
+	}
+}
+
+// TestFSNamesFiltersTraceFiles: only *.st names surface.
+func TestFSNamesFiltersTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, n := range []string{"a.st", "b.st.gz", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs := faultfs.New(dir, 1, faultfs.Faults{})
+	names, err := fs.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "a.st" {
+		t.Errorf("Names() = %v, want [a.st]", names)
+	}
+}
+
+// TestAppenderConverges: every plan — chunked, truncating, rotating,
+// combined — ends with the file bytes exactly equal to the input, and
+// the planned faults actually fired.
+func TestAppenderConverges(t *testing.T) {
+	content := bytes.Repeat([]byte("read(3, \"xyz\", 64) = 3 <0.000012>\n"), 60)
+	for _, tc := range []struct {
+		name string
+		plan faultfs.Plan
+		want func(t *testing.T, a *faultfs.Appender)
+	}{
+		{"chunked", faultfs.Plan{Chunk: 13}, func(t *testing.T, a *faultfs.Appender) {
+			if a.Chunks.Load() < 2 {
+				t.Error("plan did not chunk")
+			}
+		}},
+		{"truncate", faultfs.Plan{Chunk: 17, TruncateEveryN: 5}, func(t *testing.T, a *faultfs.Appender) {
+			if a.Truncations.Load() == 0 {
+				t.Error("no truncations fired")
+			}
+		}},
+		{"rotate", faultfs.Plan{Chunk: 17, RotateEveryN: 7}, func(t *testing.T, a *faultfs.Appender) {
+			if a.Rotations.Load() == 0 {
+				t.Error("no rotations fired")
+			}
+		}},
+		{"combined", faultfs.Plan{Chunk: 11, TruncateEveryN: 6, RotateEveryN: 9}, func(t *testing.T, a *faultfs.Appender) {
+			if a.Truncations.Load() == 0 || a.Rotations.Load() == 0 {
+				t.Errorf("combined plan fired truncations=%d rotations=%d", a.Truncations.Load(), a.Rotations.Load())
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			a := faultfs.NewAppender(dir, 7, tc.plan)
+			if err := a.Replay("case.st", content); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, "case.st"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, content) {
+				t.Fatalf("replay did not converge: got %d bytes, want %d", len(got), len(content))
+			}
+			tc.want(t, a)
+		})
+	}
+}
+
+// TestAppenderRotationChangesIdentity: a rotation rebinds the name to a
+// new inode, observable through FS.FileID — the signal the tailer keys
+// rotation detection on.
+func TestAppenderRotationChangesIdentity(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(dir, 1, faultfs.Faults{})
+	content := bytes.Repeat([]byte("line\n"), 50)
+
+	a := faultfs.NewAppender(dir, 3, faultfs.Plan{Chunk: 25})
+	if err := a.Replay("r.st", content[:50]); err != nil {
+		t.Fatal(err)
+	}
+	// Hold a handle across the rotation, like a real tailer does: the
+	// open handle pins the old inode so the recreated file cannot reuse
+	// its number, and h.ID() vs FileID(name) is exactly the comparison
+	// rotation detection makes.
+	h, err := fs.Open("r.st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	before := h.ID()
+
+	rot := faultfs.NewAppender(dir, 3, faultfs.Plan{Chunk: 25, RotateEveryN: 2})
+	if err := rot.Replay("r.st", content); err != nil {
+		t.Fatal(err)
+	}
+	if rot.Rotations.Load() == 0 {
+		t.Fatal("rotation plan fired no rotations")
+	}
+	after, err := fs.FileID("r.st")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 && before == after {
+		t.Error("rotation did not change file identity")
+	}
+}
+
+// TestAppenderDeterministic: same seed, same plan, same fault counts.
+func TestAppenderDeterministic(t *testing.T) {
+	content := bytes.Repeat([]byte("deterministic-fault-line\n"), 80)
+	run := func() (uint64, uint64) {
+		dir := t.TempDir()
+		a := faultfs.NewAppender(dir, 99, faultfs.Plan{Chunk: 19, TruncateEveryN: 4})
+		if err := a.Replay("d.st", content); err != nil {
+			t.Fatal(err)
+		}
+		return a.Truncations.Load(), a.Chunks.Load()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if t1 != t2 || c1 != c2 {
+		t.Errorf("replays diverged: (%d,%d) vs (%d,%d)", t1, c1, t2, c2)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package faultfs
+
+import "io/fs"
+
+// inode matches strace's non-unix fallback: no portable identity, so
+// rotation is visible only as a size shrink.
+func inode(fi fs.FileInfo) uint64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package faultfs
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// inode mirrors strace's unix file identity: the inode number, which is
+// what rotation detection compares.
+func inode(fi fs.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}

@@ -279,6 +279,11 @@ func (b *Builder) Finalize() *Log {
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
 	l.variants = make([]*Variant, len(out))
 	for i, kv := range out {
+		// Case lists accumulate in fold order. Batch ingestion folds in
+		// CaseID order, so this sort is a no-op there; live ingestion
+		// folds in completion order, and canonicalizing here is what
+		// makes its final artifacts byte-identical to a batch run.
+		sort.Slice(kv.v.Cases, func(a, b int) bool { return kv.v.Cases[a].Less(kv.v.Cases[b]) })
 		l.variants[i] = kv.v
 	}
 	return l

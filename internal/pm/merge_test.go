@@ -177,3 +177,58 @@ func TestUnionLogsPadsShortCaseLists(t *testing.T) {
 		t.Errorf("real case ids = %d, want 2 (%v)", real, v.Cases)
 	}
 }
+
+// TestFinalizeOrderInvariant: folding the same cases in any order —
+// live ingestion delivers completion order, not CaseID order — must
+// finalize to the identical Log, case lists included. This is the pm
+// half of the live-path byte-equivalence guarantee.
+func TestFinalizeOrderInvariant(t *testing.T) {
+	m := CallTopDirs{Depth: 2}
+	opts := BuildOptions{Endpoints: true}
+	var cases []*trace.Case
+	for rid := 0; rid < 29; rid++ {
+		cases = append(cases, mergeCase(rid, rid%4))
+	}
+	seq := NewBuilder(m, opts)
+	for _, c := range cases {
+		seq.Add(c)
+	}
+	want := seq.Finalize()
+
+	perms := [][]int{reversed(len(cases)), strided(len(cases), 7)}
+	for pi, perm := range perms {
+		b := NewBuilder(m, opts)
+		for _, i := range perm {
+			b.Add(cases[i])
+		}
+		got := b.Finalize()
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("perm %d: out-of-order fold finalized differently", pi)
+		}
+	}
+}
+
+func reversed(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = n - 1 - i
+	}
+	return out
+}
+
+// strided enumerates 0..n-1 by a stride coprime to n-ish, a cheap
+// deterministic shuffle.
+func strided(n, step int) []int {
+	out := make([]int, 0, n)
+	seen := make([]bool, n)
+	for i := 0; len(out) < n; i = (i + step) % n {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		} else {
+			i = (i + 1) % n
+			continue
+		}
+	}
+	return out
+}

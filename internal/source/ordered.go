@@ -178,6 +178,12 @@ func (s *ordSource) Next() (*trace.Case, error) {
 	}
 }
 
+// Close cancels outstanding fetches and waits for the workers to exit.
+// The wait is safe only because Ordered's workers are its own and every
+// fetch terminates: this is the finite-source half of the Source.Close
+// contract. An infinite or externally-produced stream must use Live,
+// whose Close never waits on producers — waiting here for a producer
+// that never finishes would wedge the whole shutdown path.
 func (s *ordSource) Close() error {
 	s.closed = true
 	s.once.Do(func() { close(s.stop) })

@@ -32,9 +32,17 @@ import (
 type Source interface {
 	Next() (*trace.Case, error)
 	// Close releases the source's resources and cancels any outstanding
-	// concurrent fetches. It does not return until every worker
-	// goroutine has exited, so abandoning a stream early leaks neither
-	// goroutines nor file handles. Close is idempotent.
+	// concurrent fetches. For the finite, fetch-based sources (Ordered
+	// and the backend streams built on it) Close does not return until
+	// every worker goroutine has exited, so abandoning a stream early
+	// leaks neither goroutines nor file handles — safe precisely
+	// because those workers are the source's own and each fetch is
+	// finite. For live, push-based sources (Live), whose producers are
+	// external and may never finish, Close must NOT wait for producers:
+	// it wakes any goroutine blocked pushing into or reading from the
+	// stream and returns immediately, so closing a live session cannot
+	// deadlock on a wedged producer. Either way Close is idempotent and
+	// Next returns ErrClosed afterwards.
 	Close() error
 }
 

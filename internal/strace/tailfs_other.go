@@ -1,0 +1,11 @@
+//go:build !unix
+
+package strace
+
+import "io/fs"
+
+// fileID has no portable identity source off unix; rotation is then
+// detected by size shrink only (a rotate-to-longer-file goes unseen
+// until the next shrink or reopen). The fault-injection matrix runs on
+// unix, where the inode path is exercised.
+func fileID(fi fs.FileInfo) uint64 { return 0 }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package strace
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// fileID extracts the inode number — the identity rotation detection
+// compares. A name whose inode changed was rotated: the old handle
+// still reads the old file, the name now binds a new one.
+func fileID(fi fs.FileInfo) uint64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Ino
+	}
+	return 0
+}

@@ -420,6 +420,79 @@ func LoadStream(src Source, joinErrors bool) (*Inspector, error) {
 // peak (0 if untracked) — the observable behind the O(batch) claim.
 func PeakResident(s Source) int { return source.PeakResident(s) }
 
+// Live ingestion layer: tail growing trace files fault-tolerantly into
+// a bounded-backpressure source and fold them durably as they complete
+// (see internal/strace, internal/source and internal/serve; cmd/stserve
+// is the daemon over this API).
+type (
+	// LiveSource is a push-based Source with a hard in-flight case
+	// budget. Producers Push completed cases (and Fail recoverable
+	// errors); an analysis fold consumes through the Source contract.
+	// Unlike file-backed sources, delivery follows completion order —
+	// final artifacts are order-canonical regardless.
+	LiveSource = source.Live
+	// BackpressurePolicy decides what Push does at a full budget:
+	// BlockProducer stalls the producer, ShedOldest drops the oldest
+	// queued case and counts it.
+	BackpressurePolicy = source.Policy
+	// FollowOptions configures follow-mode tailing: parse options plus
+	// poll cadence, completion grace, per-file stall timeout, reopen
+	// backoff cap, and the jitter seed.
+	FollowOptions = strace.FollowOptions
+	// Tailer follows every *.st file in a directory as it grows,
+	// surviving truncation, rotation and transient I/O faults, and
+	// pushes each case into a CaseSink exactly once, when complete.
+	Tailer = strace.Tailer
+	// TailStats are a tailer's lifetime counters (cases, rotations,
+	// truncations, reopens, stalls, partial drops, parse skips).
+	TailStats = strace.TailStats
+	// CaseSink receives completed cases and recoverable errors from a
+	// Tailer; *LiveSource implements it.
+	CaseSink = strace.Sink
+	// StallError reports a file that stopped growing before its exit
+	// record for longer than the stall timeout; it is recoverable
+	// (Temporary) and the tailer keeps following the file.
+	StallError = strace.StallError
+)
+
+// Backpressure policies for NewLiveSource.
+const (
+	BlockProducer = source.Block
+	ShedOldest    = source.ShedOldest
+)
+
+// DefaultLiveBudget is the in-flight case budget NewLiveSource uses
+// when given a non-positive budget.
+const DefaultLiveBudget = source.DefaultLiveBudget
+
+// NewLiveSource returns an empty live source with the given in-flight
+// budget (≤0 means DefaultLiveBudget) and overflow policy.
+func NewLiveSource(budget int, policy BackpressurePolicy) *LiveSource {
+	return source.NewLive(budget, policy)
+}
+
+// ParseBackpressurePolicy parses "block" or "shed-oldest" ("" means
+// block), the spelling the commands accept.
+func ParseBackpressurePolicy(s string) (BackpressurePolicy, error) {
+	return source.ParsePolicy(s)
+}
+
+// TailDir returns a tailer following every *.st file under dir into
+// sink. Start begins polling; Drain stops at end-of-input and flushes
+// what parsed; Stop abandons in-flight work.
+func TailDir(dir string, sink CaseSink, opts FollowOptions) *Tailer {
+	return strace.TailDir(dir, sink, opts)
+}
+
+// FollowReader parses one case from a possibly-truncated stream with
+// the tailer's resume semantics: complete records parse, an
+// unterminated final line is dropped and counted, never misparsed.
+// It returns the case, the number of dropped trailing lines, and the
+// first parse error when opts.Strict.
+func FollowReader(id CaseID, r io.Reader, opts ParseOptions) (*Case, int, error) {
+	return strace.FollowReader(id, r, opts)
+}
+
 // MergeArchives consolidates several STA files into one; case identities
 // must be disjoint.
 func MergeArchives(dst string, srcs ...string) error { return archive.Merge(dst, srcs...) }
