@@ -67,6 +67,13 @@ type matrixCell struct {
 	// structural: a size change means the format or the aggregates
 	// changed.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// Behavior-profile structure: distinct files touched, network
+	// endpoints contacted and commands executed across the merged
+	// profile. Deterministic per cell like the other structural fields,
+	// so a drift here means the semantic decoders changed.
+	BehaviorFiles    int `json:"behavior_files"`
+	BehaviorHosts    int `json:"behavior_hosts"`
+	BehaviorCommands int `json:"behavior_commands"`
 
 	WallNS         int64   `json:"wall_ns"`
 	EventsPerS     float64 `json:"events_per_s"`
@@ -208,8 +215,8 @@ func matrixBench(profilesCSV string, mcases, mevents, ashards int, seed int64, j
 		Seed:    seed,
 	}
 
-	fmt.Printf("%-12s %-8s %6s %-7s %7s %8s %9s %8s %6s %9s %12s %14s\n",
-		"PROFILE", "BACKEND", "SHARDS", "SCOPED", "CASES", "EVENTS", "BYTES", "VARIANTS", "EDGES", "SNAPSHOT", "WALL", "ALLOCS/EVENT")
+	fmt.Printf("%-12s %-8s %6s %-7s %7s %8s %9s %8s %6s %9s %6s %6s %6s %12s %14s\n",
+		"PROFILE", "BACKEND", "SHARDS", "SCOPED", "CASES", "EVENTS", "BYTES", "VARIANTS", "EDGES", "SNAPSHOT", "BFILE", "BHOST", "BCMD", "WALL", "ALLOCS/EVENT")
 	for _, p := range ps {
 		log := p.Generate("mx", mcases, mevents, seed)
 		for _, backend := range matrixBackends {
@@ -262,30 +269,34 @@ func matrixBench(profilesCSV string, mcases, mevents, ashards int, seed int64, j
 					if !bytes.Equal(snapshot.Encode(dec), enc) {
 						return fmt.Errorf("%s/%s shards=%d scoped=%v: snapshot re-encode is not byte-identical", p.Name, backend, shards, scoped)
 					}
+					bFiles, bHosts, bCmds := res.Behavior.Totals()
 					cell := matrixCell{
-						Profile:        p.Name,
-						Backend:        backend,
-						Shards:         shards,
-						Scoped:         scoped,
-						Cases:          res.Cases,
-						Events:         res.Events,
-						Bytes:          size,
-						Variants:       res.ActivityLog.NumVariants(),
-						Edges:          res.DFG.NumEdges(),
-						Symbols:        res.Symbols,
-						SnapshotBytes:  int64(len(enc)),
-						WallNS:         wall.Nanoseconds(),
-						EventsPerS:     float64(res.Events) / wall.Seconds(),
-						MBPerS:         float64(size) / 1e6 / wall.Seconds(),
-						AllocsPerEvent: float64(allocs) / float64(res.Events),
-						SnapEncNS:      encNS,
-						SnapDecNS:      decNS,
+						Profile:          p.Name,
+						Backend:          backend,
+						Shards:           shards,
+						Scoped:           scoped,
+						Cases:            res.Cases,
+						Events:           res.Events,
+						Bytes:            size,
+						Variants:         res.ActivityLog.NumVariants(),
+						Edges:            res.DFG.NumEdges(),
+						Symbols:          res.Symbols,
+						SnapshotBytes:    int64(len(enc)),
+						BehaviorFiles:    bFiles,
+						BehaviorHosts:    bHosts,
+						BehaviorCommands: bCmds,
+						WallNS:           wall.Nanoseconds(),
+						EventsPerS:       float64(res.Events) / wall.Seconds(),
+						MBPerS:           float64(size) / 1e6 / wall.Seconds(),
+						AllocsPerEvent:   float64(allocs) / float64(res.Events),
+						SnapEncNS:        encNS,
+						SnapDecNS:        decNS,
 					}
 					report.Cells = append(report.Cells, cell)
-					fmt.Printf("%-12s %-8s %6d %-7v %7d %8d %9d %8d %6d %9d %12v %14.3f\n",
+					fmt.Printf("%-12s %-8s %6d %-7v %7d %8d %9d %8d %6d %9d %6d %6d %6d %12v %14.3f\n",
 						cell.Profile, cell.Backend, cell.Shards, cell.Scoped,
 						cell.Cases, cell.Events, cell.Bytes, cell.Variants, cell.Edges,
-						cell.SnapshotBytes,
+						cell.SnapshotBytes, cell.BehaviorFiles, cell.BehaviorHosts, cell.BehaviorCommands,
 						time.Duration(cell.WallNS).Round(time.Microsecond), cell.AllocsPerEvent)
 				}
 			}
@@ -357,11 +368,15 @@ func diffMatrix(fresh matrixReport, baselinePath string) error {
 		structure := "ok"
 		if f.Cases != b.Cases || f.Events != b.Events || f.Bytes != b.Bytes ||
 			f.Variants != b.Variants || f.Edges != b.Edges || f.Symbols != b.Symbols ||
-			f.SnapshotBytes != b.SnapshotBytes {
-			structure = fmt.Sprintf("DIVERGED cases %d→%d events %d→%d bytes %d→%d variants %d→%d edges %d→%d symbols %d→%d snapshot %d→%d",
+			f.SnapshotBytes != b.SnapshotBytes ||
+			f.BehaviorFiles != b.BehaviorFiles || f.BehaviorHosts != b.BehaviorHosts ||
+			f.BehaviorCommands != b.BehaviorCommands {
+			structure = fmt.Sprintf("DIVERGED cases %d→%d events %d→%d bytes %d→%d variants %d→%d edges %d→%d symbols %d→%d snapshot %d→%d bfiles %d→%d bhosts %d→%d bcmds %d→%d",
 				b.Cases, f.Cases, b.Events, f.Events, b.Bytes, f.Bytes,
 				b.Variants, f.Variants, b.Edges, f.Edges, b.Symbols, f.Symbols,
-				b.SnapshotBytes, f.SnapshotBytes)
+				b.SnapshotBytes, f.SnapshotBytes,
+				b.BehaviorFiles, f.BehaviorFiles, b.BehaviorHosts, f.BehaviorHosts,
+				b.BehaviorCommands, f.BehaviorCommands)
 			structural = append(structural, k)
 		}
 		fmt.Printf("%-42s %10s %10s %+13.3f  %s\n", k,

@@ -23,7 +23,8 @@
 // files parsed or archive cases decoded concurrently; omit for
 // GOMAXPROCS).
 //
-// The dfg, stats, variants, info and footprint subcommands additionally
+// The dfg, stats, variants, behavior, info and footprint subcommands
+// additionally
 // accept -stream, which synthesizes the artifacts in a single
 // bounded-memory pass without materializing the event-log — trace sets
 // larger than RAM stay inspectable. -window N caps how many parsed
@@ -44,7 +45,8 @@
 //	stinspect dfg -merge-snapshots part1.sts,part2.sts,part3.sts
 //
 // -merge-snapshots replaces -traces/-archive/-dxt as the input of the
-// dfg, stats, variants, info and footprint subcommands; the output is
+// dfg, stats, variants, behavior, info and footprint subcommands; the
+// output is
 // byte-identical to a single run over the union of the parts' cases.
 //
 // -cases a:b restricts an -archive input to the half-open case range
@@ -91,7 +93,7 @@ func usagef(format string, args ...any) error {
 // missing/unknown-subcommand errors all print, so the lists cannot
 // drift from each other (the dispatch switch below is the source of
 // truth it mirrors).
-const subcommands = "dfg, stats, variants, timeline, dist, percase, compare, report, footprint, archive, snapshot, info"
+const subcommands = "dfg, stats, variants, behavior, timeline, dist, percase, compare, report, footprint, archive, snapshot, info"
 
 func run(args []string) error {
 	if len(args) < 1 {
@@ -124,12 +126,12 @@ func run(args []string) error {
 	title := fs.String("title", "", "report title (report subcommand)")
 	lenient := fs.Bool("lenient", false, "skip unparseable trace lines instead of failing")
 	jobs := fs.Int("j", 0, "ingestion parallelism: trace files parsed / archive cases decoded concurrently (>= 1; omit for GOMAXPROCS)")
-	stream := fs.Bool("stream", false, "bounded-memory streaming pass (dfg, stats, variants, info, footprint): never materializes the event-log")
+	stream := fs.Bool("stream", false, "bounded-memory streaming pass (dfg, stats, variants, behavior, info, footprint): never materializes the event-log")
 	window := fs.Int("window", 0, "streaming mode: max cases resident at once (>= 1; omit for 2x parallelism)")
 	ashards := fs.Int("ashards", 0, "streaming mode: analysis shards, concurrent fold workers whose partials merge exactly (>= 1; omit for GOMAXPROCS)")
 	scopedSyms := fs.Bool("scoped-syms", false, "scope a fresh symbol table to this run's ingestion pass instead of the process-wide table (identical output; bounds retention in long-lived embeddings)")
 	casesRange := fs.String("cases", "", "archive input: restrict to the half-open case range a:b of the archive's file order (a:, :b, a:b)")
-	mergeSnaps := fs.String("merge-snapshots", "", "comma-separated STS snapshot files to merge as the input (dfg, stats, variants, info, footprint); replaces -traces/-archive/-dxt")
+	mergeSnaps := fs.String("merge-snapshots", "", "comma-separated STS snapshot files to merge as the input (dfg, stats, variants, behavior, info, footprint); replaces -traces/-archive/-dxt")
 	every := fs.Int("every", 0, "snapshot subcommand: checkpoint every N folded cases (omit or <= 0: one snapshot at the end)")
 	resume := fs.Bool("resume", false, "snapshot subcommand: resume from an existing -o snapshot, folding only unseen cases")
 	if err := fs.Parse(rest); err != nil {
@@ -216,7 +218,7 @@ func run(args []string) error {
 		// the pre-Finalize aggregates of their folds, so the artifacts
 		// come out of the exact merge, not out of a stream.
 		switch cmd {
-		case "dfg", "stats", "variants", "info", "footprint":
+		case "dfg", "stats", "variants", "behavior", "info", "footprint":
 		default:
 			return usagef("subcommand %q cannot run from merged snapshots", cmd)
 		}
@@ -266,7 +268,7 @@ func run(args []string) error {
 		// Reject unsupported subcommands before ingesting anything —
 		// -stream targets trace sets where a wasted pass is expensive.
 		switch cmd {
-		case "dfg", "stats", "variants", "info", "footprint":
+		case "dfg", "stats", "variants", "behavior", "info", "footprint":
 		default:
 			return usagef("subcommand %q needs the in-memory event-log; drop -stream", cmd)
 		}
@@ -395,6 +397,14 @@ func run(args []string) error {
 		for _, v := range in.ActivityLog().Variants() {
 			fmt.Printf("%4d× %s\n", v.Mult, v.Seq)
 		}
+		return nil
+
+	case "behavior":
+		in, err := load()
+		if err != nil {
+			return err
+		}
+		fmt.Print(in.Behavior().RenderText())
 		return nil
 
 	case "dist":
@@ -567,6 +577,9 @@ func runStreamed(cmd string, res *stinspector.StreamResult, format string) error
 		for _, v := range res.ActivityLog.Variants() {
 			fmt.Printf("%4d× %s\n", v.Mult, v.Seq)
 		}
+		return nil
+	case "behavior":
+		fmt.Print(res.Behavior.RenderText())
 		return nil
 	case "footprint":
 		fmt.Print(stinspector.NewFootprint(res.DFG).String())

@@ -1,0 +1,162 @@
+package behavior
+
+import (
+	"stinspector/internal/intern"
+	"stinspector/internal/snapshot/wire"
+	"stinspector/internal/trace"
+)
+
+// EncodeSnapshot serializes the profile for durable storage. Every
+// string — subjects and the case-identity CID/Host components — is
+// written once in a per-snapshot intern dictionary, in first-use order
+// over the canonical iteration (cases ascending, operations in
+// declaration order, subjects in ascending string order), so the
+// encoding is a pure function of the profile's content: identical
+// profiles encode to identical bytes whatever fold shape produced them.
+//
+// Layout (wrapped in a checksummed section by internal/snapshot):
+//
+//	dict:  n | string*
+//	cases: n | (cidSym hostSym rid events (nEntries | (subjSym count)*)^numOps)*
+func (p *Profile) EncodeSnapshot() []byte {
+	ids := p.sortedIDs()
+	// Materialize the canonical per-case views once; both passes (the
+	// dictionary and the payload) walk the same order.
+	views := make([]CaseProfile, len(ids))
+	for i, id := range ids {
+		views[i] = p.caseProfile(id, p.cases[id])
+	}
+
+	dict := intern.NewLocal()
+	for i := range views {
+		dict.Intern(views[i].ID.CID)
+		dict.Intern(views[i].ID.Host)
+		for _, lst := range views[i].byOp() {
+			for _, e := range *lst {
+				dict.Intern(e.Subject)
+			}
+		}
+	}
+
+	var b wire.Buf
+	b.Uvarint(uint64(dict.Len()))
+	for i := 0; i < dict.Len(); i++ {
+		b.Str(dict.Str(intern.Sym(i)))
+	}
+	b.Uvarint(uint64(len(views)))
+	for i := range views {
+		cy, _ := dict.Sym(views[i].ID.CID)
+		hy, _ := dict.Sym(views[i].ID.Host)
+		b.Uvarint(uint64(cy))
+		b.Uvarint(uint64(hy))
+		b.Varint(int64(views[i].ID.RID))
+		b.Uvarint(uint64(views[i].Events))
+		for _, lst := range views[i].byOp() {
+			b.Uvarint(uint64(len(*lst)))
+			for _, e := range *lst {
+				sy, _ := dict.Sym(e.Subject)
+				b.Uvarint(uint64(sy))
+				b.Uvarint(uint64(e.Count))
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+// DecodeSnapshot reconstructs a profile from EncodeSnapshot bytes. The
+// dictionary strings are re-interned through the profile's fresh scoped
+// table in file order, and every reference is range-checked: hostile
+// input yields a wire.CorruptError, never a panic or a garbage profile.
+func DecodeSnapshot(data []byte) (*Profile, error) {
+	c := wire.NewCursor(data)
+	nd, err := c.Count(1)
+	if err != nil {
+		return nil, err
+	}
+	dict := intern.NewLocal()
+	for i := 0; i < nd; i++ {
+		s, err := c.Str()
+		if err != nil {
+			return nil, err
+		}
+		dict.Intern(s)
+		if dict.Len() != i+1 {
+			return nil, wire.Corruptf("duplicate behavior-dictionary string %q", s)
+		}
+	}
+	sym := func() (string, error) {
+		y, err := c.Uvarint()
+		if err != nil {
+			return "", err
+		}
+		if y >= uint64(nd) {
+			return "", wire.Corruptf("behavior dictionary id %d out of range (%d strings)", y, nd)
+		}
+		return dict.Str(intern.Sym(y)), nil
+	}
+
+	p := New()
+	// Each case needs at least cid+host+rid+events+numOps list lengths.
+	nc, err := c.Count(4 + int(numOps))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nc; i++ {
+		var id trace.CaseID
+		if id.CID, err = sym(); err != nil {
+			return nil, err
+		}
+		if id.Host, err = sym(); err != nil {
+			return nil, err
+		}
+		rid, err := c.Varint()
+		if err != nil {
+			return nil, err
+		}
+		id.RID = int(rid)
+		events, err := c.Int()
+		if err != nil {
+			return nil, err
+		}
+		acc := p.cases[id]
+		if acc == nil {
+			acc = &caseAcc{}
+			p.cases[id] = acc
+		}
+		// A well-formed snapshot never repeats a CaseID; fold
+		// duplicates the way Merge would rather than dropping data.
+		acc.events += events
+		for op := Op(0); op < numOps; op++ {
+			ne, err := c.Count(2)
+			if err != nil {
+				return nil, err
+			}
+			if ne == 0 {
+				continue
+			}
+			m := acc.ops[op]
+			if m == nil {
+				m = make(map[intern.Sym]int, ne)
+				acc.ops[op] = m
+			}
+			for j := 0; j < ne; j++ {
+				s, err := sym()
+				if err != nil {
+					return nil, err
+				}
+				n, err := c.Int()
+				if err != nil {
+					return nil, err
+				}
+				if n <= 0 {
+					return nil, wire.Corruptf("behavior count %d for %q must be positive", n, s)
+				}
+				m[p.syms.Intern(s)] += n
+			}
+		}
+	}
+	if err := c.Done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

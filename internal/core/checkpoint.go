@@ -156,6 +156,7 @@ func resultFromSnapshot(s *snapshot.Snapshot) *StreamResult {
 	res := &StreamResult{
 		ActivityLog: s.Log,
 		DFG:         s.DFG,
+		Behavior:    s.Behavior,
 		Cases:       s.Cases,
 		Events:      s.Events,
 		Symbols:     s.Stats.Symbols(),
@@ -203,6 +204,7 @@ func foldEpoch(src source.Source, m pm.Mapping, shards int, joinErrors bool) (*s
 	s.Log = run.pmB.Finalize()
 	s.DFG = run.dfgB.Finalize()
 	s.Stats = run.stC
+	s.Behavior = run.bh
 	return s, nil
 }
 

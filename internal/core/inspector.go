@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"stinspector/internal/archive"
+	"stinspector/internal/behavior"
 	"stinspector/internal/dfg"
 	"stinspector/internal/dxt"
 	"stinspector/internal/intern"
@@ -149,6 +150,15 @@ func (in *Inspector) DFG() *dfg.Graph {
 // Stats computes the Section IV-B statistics (Figure 6, step 4).
 func (in *Inspector) Stats() *stats.Stats {
 	return stats.Compute(in.log, in.mapping)
+}
+
+// Behavior derives the behavior profile of the event-log: per case and
+// merged, the files opened/read/written/deleted/renamed, the commands
+// executed and the network endpoints contacted. It is the in-memory
+// twin of StreamResult.Behavior and byte-identical to it for the same
+// log.
+func (in *Inspector) Behavior() *behavior.Profile {
+	return behavior.FromLog(in.log)
 }
 
 // Timeline returns the Figure 5 interval data of one activity.

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"stinspector/internal/behavior"
 	"stinspector/internal/dfg"
 	"stinspector/internal/intern"
 	"stinspector/internal/pm"
@@ -20,6 +21,10 @@ type StreamResult struct {
 	ActivityLog *pm.Log
 	DFG         *dfg.Graph
 	Stats       *stats.Stats
+	// Behavior is the fourth mergeable aggregate: the per-case and
+	// merged behavior profile (files touched, commands executed,
+	// endpoints contacted) derived from the semantic decoding layer.
+	Behavior *behavior.Profile
 	// Cases and Events count what the stream delivered.
 	Cases, Events int
 	// PeakResident is the maximum number of cases that were loaded but
@@ -65,6 +70,7 @@ type shardPartial struct {
 	pmB   *pm.Builder
 	dfgB  *dfg.Builder
 	stC   *stats.Computer
+	bh    *behavior.Profile
 	syms  []intern.Sym // per-case mapping scratch, reused
 	cases int
 	evs   int
@@ -77,6 +83,7 @@ func newShardPartial(m pm.Mapping) *shardPartial {
 		pmB:  pm.NewBuilderSym(sm, pm.BuildOptions{Endpoints: true}),
 		dfgB: dfg.NewBuilderSym(sm.Acts()),
 		stC:  stats.NewComputerSym(sm),
+		bh:   behavior.New(),
 	}
 }
 
@@ -88,15 +95,17 @@ func (p *shardPartial) fold(c *trace.Case) error {
 		p.dfgB.AddSymVariant(seq, 1)
 	}
 	p.stC.AddMapped(c, p.syms)
+	p.bh.AddCase(c)
 	return nil
 }
 
 // mergeInto folds p's symbolized partial state into dst, remapping p's
-// shard-local symbol table through dst's.
+// shard-local symbol tables through dst's.
 func (p *shardPartial) mergeInto(dst *shardPartial) {
 	dst.pmB.MergeFrom(p.pmB)
 	dst.dfgB.MergeFrom(p.dfgB)
 	dst.stC.Merge(p.stC)
+	dst.bh.Merge(p.bh)
 }
 
 // AnalyzeStreamParallel is AnalyzeStream with the analysis fold itself
@@ -149,6 +158,7 @@ func AnalyzeStreamParallel(src source.Source, m pm.Mapping, shards int, joinErro
 	res.ActivityLog = run.pmB.Finalize()
 	res.DFG = run.dfgB.Finalize()
 	res.Stats = run.stC.Finalize()
+	res.Behavior = run.bh
 	res.PeakResident = source.PeakResident(src)
 	return res, nil
 }

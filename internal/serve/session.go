@@ -418,8 +418,9 @@ func (s *Session) Info() Info {
 
 // Artifact renders a query artifact from the session's most recent
 // durable state — the checkpoint on disk while the fold is running, or
-// the final result after Drain. Kinds: "dfg", "stats", "variants".
-// os.ErrNotExist surfaces when no checkpoint has been written yet.
+// the final result after Drain. Kinds: "dfg", "stats", "variants",
+// "behavior". os.ErrNotExist surfaces when no checkpoint has been
+// written yet.
 func (s *Session) Artifact(kind string) (string, error) {
 	s.mu.Lock()
 	res := s.res
@@ -442,7 +443,9 @@ func (s *Session) Artifact(kind string) (string, error) {
 			b = fmt.Appendf(b, "%4d× %s\n", v.Mult, v.Seq)
 		}
 		return string(b), nil
+	case "behavior":
+		return res.Behavior.RenderText(), nil
 	default:
-		return "", fmt.Errorf("serve: unknown artifact %q (want dfg, stats or variants)", kind)
+		return "", fmt.Errorf("serve: unknown artifact %q (want dfg, stats, variants or behavior)", kind)
 	}
 }

@@ -1,7 +1,8 @@
 // Package snapshot defines STS, the durable single-file form of one
 // analysis fold's pre-Finalize state: the activity-log, the DFG, the
 // statistics computer (128-bit rate sums and max-concurrency interval
-// sets included) and the set of CaseIDs already folded. It is the
+// sets included), the behavior profile and the set of CaseIDs already
+// folded. It is the
 // persistence layer the checkpoint/resume engine and the multi-process
 // merge (`stinspect -merge-snapshots`) stand on: because every
 // aggregate's Merge is exact, snapshots written by N separate processes
@@ -20,8 +21,9 @@
 // Version compatibility: a reader accepts exactly its own version —
 // the format captures internal pre-Finalize state, so cross-version
 // resumption is not supported; re-fold instead. Within a version the
-// section set is fixed (meta, seen, log, dfg, stats — each exactly
-// once) and unknown section kinds are corruption, not extensions.
+// section set is fixed (meta, seen, log, dfg, stats, behavior — each
+// exactly once) and unknown section kinds are corruption, not
+// extensions. Version 2 added the behavior-profile section.
 //
 // Symbol handling: every payload serializes its strings as a per-file
 // intern dictionary in first-use order; on load the dictionary is
@@ -34,6 +36,7 @@ import (
 	"os"
 	"sort"
 
+	"stinspector/internal/behavior"
 	"stinspector/internal/dfg"
 	"stinspector/internal/fsatomic"
 	"stinspector/internal/intern"
@@ -46,19 +49,20 @@ import (
 const (
 	magic       = "STS1"
 	footerMagic = "1STS"
-	version     = 1
+	version     = 2
 )
 
 // footerSize is the fixed tail: index offset, index CRC, magic.
 const footerSize = 8 + 4 + 4
 
-// Section kinds of version 1. All five must appear exactly once.
+// Section kinds of version 2. All six must appear exactly once.
 const (
-	kindMeta  = 1 // cases, events counters
-	kindSeen  = 2 // folded CaseID set
-	kindLog   = 3 // pm.Log
-	kindDFG   = 4 // dfg.Graph
-	kindStats = 5 // stats.Computer
+	kindMeta     = 1 // cases, events counters
+	kindSeen     = 2 // folded CaseID set
+	kindLog      = 3 // pm.Log
+	kindDFG      = 4 // dfg.Graph
+	kindStats    = 5 // stats.Computer
+	kindBehavior = 6 // behavior.Profile
 )
 
 // Snapshot is one fold's durable state: the three mergeable aggregates
@@ -67,9 +71,10 @@ const (
 // intervals are swept away — and resumed folds must keep merging
 // exactly.
 type Snapshot struct {
-	Log   *pm.Log
-	DFG   *dfg.Graph
-	Stats *stats.Computer
+	Log      *pm.Log
+	DFG      *dfg.Graph
+	Stats    *stats.Computer
+	Behavior *behavior.Profile
 	// Seen lists the CaseIDs folded into the aggregates, in ascending
 	// order; a resumed fold skips exactly these.
 	Seen []trace.CaseID
@@ -108,6 +113,7 @@ func Encode(s *Snapshot) []byte {
 	section(kindLog, s.Log.EncodeSnapshot())
 	section(kindDFG, s.DFG.EncodeSnapshot())
 	section(kindStats, s.Stats.EncodeSnapshot())
+	section(kindBehavior, s.Behavior.EncodeSnapshot())
 
 	indexOffset := b.Len()
 	var idx wire.Buf
@@ -199,13 +205,13 @@ func Decode(data []byte, m pm.Mapping) (*Snapshot, error) {
 			return nil, wire.Corruptf("duplicate section kind %d", kind)
 		}
 		switch kind {
-		case kindMeta, kindSeen, kindLog, kindDFG, kindStats:
+		case kindMeta, kindSeen, kindLog, kindDFG, kindStats, kindBehavior:
 			sections[kind] = body
 		default:
 			return nil, wire.Corruptf("unknown section kind %d", kind)
 		}
 	}
-	for _, kind := range []int{kindMeta, kindSeen, kindLog, kindDFG, kindStats} {
+	for _, kind := range []int{kindMeta, kindSeen, kindLog, kindDFG, kindStats, kindBehavior} {
 		if _, ok := sections[kind]; !ok {
 			return nil, wire.Corruptf("missing section kind %d", kind)
 		}
@@ -232,6 +238,9 @@ func Decode(data []byte, m pm.Mapping) (*Snapshot, error) {
 		return nil, err
 	}
 	if s.Stats, err = stats.DecodeComputerSnapshot(sections[kindStats], m); err != nil {
+		return nil, err
+	}
+	if s.Behavior, err = behavior.DecodeSnapshot(sections[kindBehavior]); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -341,7 +350,8 @@ func decodeSeen(data []byte) ([]trace.CaseID, error) {
 // Merge folds partial snapshots (shard or epoch partials of one logical
 // fold) into a new snapshot, exactly: the activity-logs union under the
 // sorted case-list interleave, the graphs sum, the statistics merge in
-// integer space, the seen sets merge in ascending order. nil inputs are
+// integer space, the behavior profiles sum under a string-preserving
+// remap, the seen sets merge in ascending order. nil inputs are
 // skipped. The inputs' statistics computers are consumed (the first
 // survivor becomes the merge target) and must not be used afterwards.
 //
@@ -352,12 +362,14 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	out := &Snapshot{}
 	var logs []*pm.Log
 	var graphs []*dfg.Graph
+	var profs []*behavior.Profile
 	for _, s := range snaps {
 		if s == nil {
 			continue
 		}
 		logs = append(logs, s.Log)
 		graphs = append(graphs, s.DFG)
+		profs = append(profs, s.Behavior)
 		if out.Stats == nil {
 			out.Stats = s.Stats
 		} else {
@@ -369,6 +381,7 @@ func Merge(snaps ...*Snapshot) *Snapshot {
 	}
 	out.Log = pm.MergeLogs(logs...)
 	out.DFG = dfg.Merge(graphs...)
+	out.Behavior = behavior.Merge(profs...)
 	sort.Slice(out.Seen, func(i, j int) bool { return out.Seen[i].Less(out.Seen[j]) })
 	return out
 }

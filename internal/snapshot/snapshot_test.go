@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"stinspector/internal/behavior"
 	"stinspector/internal/dfg"
 	"stinspector/internal/pm"
 	"stinspector/internal/snapshot/wire"
@@ -23,6 +24,7 @@ func foldRange(el *trace.EventLog, m pm.Mapping, lo, hi int) *Snapshot {
 	pmB := pm.NewBuilderSym(sm, pm.BuildOptions{Endpoints: true})
 	dfgB := dfg.NewBuilderSym(sm.Acts())
 	stC := stats.NewComputerSym(sm)
+	bh := behavior.New()
 	s := &Snapshot{}
 	for _, c := range el.Cases()[lo:hi] {
 		s.Cases++
@@ -33,10 +35,12 @@ func foldRange(el *trace.EventLog, m pm.Mapping, lo, hi int) *Snapshot {
 			dfgB.AddSymVariant(seq, 1)
 		}
 		stC.AddMapped(c, buf)
+		bh.AddCase(c)
 	}
 	s.Log = pmB.Finalize()
 	s.DFG = dfgB.Finalize()
 	s.Stats = stC
+	s.Behavior = bh
 	return s
 }
 

@@ -147,3 +147,67 @@ func TestParseAllocBudgetProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestBehaviorAllocBudget is the allocation gate for the semantic
+// decoding layer: parsing the behavior profile — whose call mix routes
+// every record through the sockaddr, argv and dirfd-join decoders —
+// must hold the same 2.0 allocs/event ceiling as the plain I/O path.
+// The decoders build derived paths into per-parser scratch buffers and
+// intern through the symbol table, so steady state measures near the
+// usual 1.1 (line copy plus amortized growth); a regression here means
+// a decoder started allocating per event. Skipped under -race
+// (instrumented allocator).
+func TestBehaviorAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	p, ok := profiles.Lookup("behavior")
+	if !ok {
+		t.Fatal("behavior profile missing")
+	}
+	log := p.Generate("allocb", 2, 2000, 5)
+	type renderedCase struct {
+		id   trace.CaseID
+		data string
+	}
+	var cs []renderedCase
+	events := 0
+	for _, c := range log.Cases() {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteCase(c); err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, renderedCase{c.ID, buf.String()})
+		events += c.Len()
+	}
+
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"default-table", Options{Strict: true}},
+		{"scoped-table", Options{Strict: true, Syms: intern.NewTable()}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			parseAll := func() {
+				for _, c := range cs {
+					got, err := ParseCase(c.id, strings.NewReader(c.data), mode.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Len() != log.Case(c.id).Len() {
+						t.Fatalf("case %s: parsed %d events, want %d", c.id, got.Len(), log.Case(c.id).Len())
+					}
+				}
+			}
+			parseAll() // warm the interner and pools
+			avg := testing.AllocsPerRun(10, parseAll)
+			perEvent := avg / float64(events)
+			t.Logf("ParseCase (behavior, %s): %.0f allocs for %d events = %.3f allocs/event",
+				mode.name, avg, events, perEvent)
+			if perEvent > 2.0 {
+				t.Errorf("allocs/event = %.3f, budget 2.0 — the semantic decoders opened a per-event allocation path", perEvent)
+			}
+		})
+	}
+}

@@ -2,7 +2,7 @@ package strace
 
 import (
 	"fmt"
-	"strings"
+	"time"
 
 	"stinspector/internal/intern"
 	"stinspector/internal/trace"
@@ -15,8 +15,9 @@ var TransferCalls = map[string]bool{
 	"write": true, "pwrite64": true, "writev": true, "pwritev": true, "pwritev2": true,
 }
 
-// IOCalls is the default set of I/O-related calls extracted into events;
-// it covers the calls traced in the paper's experiments.
+// IOCalls is the set of I/O-related calls the paper's experiments
+// trace; together with BehaviorCalls it forms the default extraction
+// set.
 var IOCalls = map[string]bool{
 	"read": true, "pread64": true, "readv": true, "preadv": true, "preadv2": true,
 	"write": true, "pwrite64": true, "writev": true, "pwritev": true, "pwritev2": true,
@@ -24,11 +25,25 @@ var IOCalls = map[string]bool{
 	"lseek": true, "fsync": true, "fdatasync": true,
 }
 
+// BehaviorCalls is the set of calls the semantic decoding layer turns
+// into behavior-profile events beyond plain I/O: file mutations
+// (delete, rename, create-directory, truncate), process spawns and
+// network connections. They are part of the default extraction set so
+// behavior profiles agree across every ingestion backend.
+var BehaviorCalls = map[string]bool{
+	"unlink": true, "unlinkat": true, "rmdir": true,
+	"rename": true, "renameat": true, "renameat2": true,
+	"mkdir": true, "mkdirat": true,
+	"truncate": true, "ftruncate": true,
+	"execve": true, "execveat": true,
+	"connect": true,
+}
+
 // Options configures the record-to-event conversion.
 type Options struct {
 	// Calls restricts extraction to the given call names. Nil means
-	// IOCalls; an explicitly empty (len 0, non-nil) map keeps every
-	// call.
+	// the default set IOCalls ∪ BehaviorCalls; an explicitly empty
+	// (len 0, non-nil) map keeps every call.
 	Calls map[string]bool
 	// KeepFailed keeps events for calls that returned an error (the
 	// transfer size is then SizeUnknown). Interrupted calls
@@ -64,7 +79,7 @@ type Options struct {
 
 func (o Options) callWanted(name string) bool {
 	if o.Calls == nil {
-		return IOCalls[name]
+		return IOCalls[name] || BehaviorCalls[name]
 	}
 	if len(o.Calls) == 0 {
 		return true
@@ -91,6 +106,10 @@ func eventsFromRecords(id trace.CaseID, records []Record, opts Options, cache *i
 	// strace guarantees at most one outstanding (unfinished) call per
 	// process, so a single pending record per PID suffices.
 	pending := make(map[int]Record)
+	// scratch backs the byte-built file paths (dirfd joins, unescapes,
+	// spawn command lines, connection subjects) across the whole case;
+	// CanonBytes interns from it without materializing a string.
+	var scratch []byte
 
 	emit := func(r Record) {
 		if r.Interrupted() {
@@ -102,10 +121,38 @@ func eventsFromRecords(id trace.CaseID, records []Record, opts Options, cache *i
 		if !opts.callWanted(r.Call) {
 			return
 		}
-		events = append(events, recordToEvent(id, r, cache))
+		events = append(events, recordToEvent(id, r, cache, &scratch))
 	}
 
-	for _, r := range records {
+	// -tt timestamps are time of day and wrap at midnight; a trace
+	// crossing 00:00 would otherwise go non-monotonic (negative
+	// inter-event deltas, broken concurrency intervals). A backward
+	// jump of more than half a day is a wrap — add a day and keep the
+	// offset; a forward jump of more than half a day while an offset is
+	// active is a straggler record emitted before the wrap — subtract a
+	// day for that record only. Epoch (-ttt) stamps never jump that
+	// far, so they pass through untouched.
+	const day = 24 * time.Hour
+	var dayOffset, last time.Duration
+	haveTime := false
+
+	for i := range records {
+		r := records[i]
+		t := r.Time + dayOffset
+		if haveTime {
+			switch {
+			case t < last && last-t > day/2:
+				dayOffset += day
+				t += day
+			case t > last && t-last > day/2 && dayOffset >= day:
+				t -= day
+			}
+		}
+		haveTime = true
+		if t > last {
+			last = t
+		}
+		r.Time = t
 		switch r.Kind {
 		case KindSyscall:
 			emit(r)
@@ -167,13 +214,15 @@ func mergeUnfinished(u, r Record) Record {
 }
 
 // recordToEvent applies the attribute extraction rules of Section III to a
-// complete record: the file path comes from the fd annotation of the first
-// argument (or, for openat and friends, from the annotated return fd,
-// falling back to the quoted path argument), and the transfer size from
-// the return value of read/write variants. The call name and path are
-// canonicalized through the symbol cache, so the event holds interned
-// strings rather than per-event substring pins of the trace line.
-func recordToEvent(id trace.CaseID, r Record, cache *intern.Cache) trace.Event {
+// complete record: the file path comes from the semantic decoding layer
+// (decode.go) — the fd annotation of the first argument, the annotated
+// return fd of openat and friends with dirfd-resolved fallbacks, the
+// decoded command line of a spawn, the canonical address of a connect —
+// and the transfer size from the return value of read/write variants.
+// The call name and path are canonicalized through the symbol cache, so
+// the event holds interned strings rather than per-event substring pins
+// of the trace line; byte-built paths intern straight from scratch.
+func recordToEvent(id trace.CaseID, r Record, cache *intern.Cache, scratch *[]byte) trace.Event {
 	e := trace.Event{
 		CID:   id.CID,
 		Host:  id.Host,
@@ -184,122 +233,13 @@ func recordToEvent(id trace.CaseID, r Record, cache *intern.Cache) trace.Event {
 		Dur:   r.Dur,
 		Size:  trace.SizeUnknown,
 	}
-	e.FP = cache.Canon(extractPath(r))
+	if p, built := extractPathInto(r, scratch); built {
+		e.FP = cache.CanonBytes(*scratch)
+	} else {
+		e.FP = cache.Canon(p)
+	}
 	if TransferCalls[r.Call] && r.RetOK && r.RetPath == "" && r.RetInt >= 0 {
 		e.Size = r.RetInt
 	}
 	return e
-}
-
-// extractPath finds the file path of the record, following the
-// per-call argument conventions of strace -y output.
-func extractPath(r Record) string {
-	switch r.Call {
-	case "openat", "openat2", "newfstatat", "fstatat64", "statx",
-		"unlinkat", "mkdirat", "faccessat", "faccessat2", "readlinkat",
-		"utimensat", "fchmodat", "fchownat":
-		// openat(AT_FDCWD, "/etc/passwd", O_RDONLY) = 3</etc/passwd>
-		// openat(5</data>, "part.bin", O_RDONLY) = 6</data/part.bin>
-		if r.RetPath != "" {
-			return r.RetPath
-		}
-		if len(r.Args) >= 2 {
-			if p, ok := unquote(r.Args[1]); ok {
-				if strings.HasPrefix(p, "/") {
-					return p
-				}
-				// Relative to the dirfd: join with its
-				// annotation when present.
-				if _, dir, ok := SplitFDPath(r.Args[0]); ok {
-					return dir + "/" + p
-				}
-				return p
-			}
-		}
-	case "open", "creat", "stat", "lstat", "stat64", "access", "unlink",
-		"mkdir", "rmdir", "truncate", "readlink", "chdir", "chmod",
-		"chown", "utime", "statfs", "getxattr", "execve":
-		if r.RetPath != "" {
-			return r.RetPath
-		}
-		if len(r.Args) >= 1 {
-			if p, ok := unquote(r.Args[0]); ok {
-				return p
-			}
-		}
-	case "rename", "renameat", "renameat2", "link", "symlink":
-		// The source path identifies the activity; for the *at
-		// variants the path arguments sit at positions 1 and 3.
-		idx := 0
-		if strings.HasSuffix(r.Call, "at") || strings.HasSuffix(r.Call, "at2") {
-			idx = 1
-		}
-		if len(r.Args) > idx {
-			if p, ok := unquote(r.Args[idx]); ok {
-				return p
-			}
-		}
-	case "mmap", "mmap2":
-		// mmap(NULL, 8192, PROT_READ, MAP_PRIVATE, 3</lib/x.so>, 0):
-		// the fd is argument 5.
-		if len(r.Args) >= 5 {
-			if _, p, ok := SplitFDPath(r.Args[4]); ok {
-				return p
-			}
-		}
-		return ""
-	}
-	if p, ok := r.FirstArgPath(); ok {
-		return p
-	}
-	// Fall back to a quoted first argument for calls not listed above.
-	if len(r.Args) >= 1 {
-		if p, ok := unquote(r.Args[0]); ok {
-			return p
-		}
-	}
-	return ""
-}
-
-// unquote strips the surrounding double quotes of a C string literal
-// argument, handling strace's trailing "..." abbreviation marker.
-func unquote(s string) (string, bool) {
-	if len(s) < 2 || s[0] != '"' {
-		return "", false
-	}
-	body := s[1:]
-	if i := lastUnescapedQuote(body); i >= 0 {
-		body = body[:i]
-	} else {
-		return "", false
-	}
-	// Fast path: no escapes means the literal is a plain subslice.
-	if strings.IndexByte(body, '\\') < 0 {
-		return body, true
-	}
-	// Minimal unescaping: \" and \\ are the forms strace emits in
-	// paths.
-	var b []byte
-	for i := 0; i < len(body); i++ {
-		if body[i] == '\\' && i+1 < len(body) {
-			i++
-			b = append(b, body[i])
-			continue
-		}
-		b = append(b, body[i])
-	}
-	return string(b), true
-}
-
-func lastUnescapedQuote(s string) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\\' {
-			i++
-			continue
-		}
-		if s[i] == '"' {
-			return i
-		}
-	}
-	return -1
 }

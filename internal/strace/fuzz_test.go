@@ -2,9 +2,11 @@ package strace
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 
+	"stinspector/internal/behavior"
 	"stinspector/internal/trace"
 )
 
@@ -66,6 +68,73 @@ func FuzzParseCase(f *testing.F) {
 					t.Fatalf("opts %+v: event %v carries identity %s, want %s", opts, e, e.CaseID(), id)
 				}
 			}
+		}
+	})
+}
+
+// behaviorFuzzSeeds exercise the semantic decoders: spawn argv arrays,
+// sockaddr struct literals in both dialects, dirfd joins and
+// escape-bearing arguments.
+var behaviorFuzzSeeds = []string{
+	`1  10:00:00.000001 execve("/usr/bin/tar", ["tar", "-czf", "out.tgz"], 0x7ffd00 /* 60 vars */) = 0 <0.000200>`,
+	`1  10:00:00.000002 connect(3<socket:[12345]>, {sa_family=AF_INET, sin_port=htons(443), sin_addr=inet_addr("10.0.0.7")}, 16) = 0 <0.000100>`,
+	`1  10:00:00.000003 connect(3<socket:[999]>, {sa_family=AF_INET6, sin6_port=htons(8080), sin6_flowinfo=htonl(0), inet_pton(AF_INET6, "2001:db8::1", &sin6_addr), sin6_scope_id=0}, 28) = 0 <0.000100>`,
+	`1  10:00:00.000004 connect(4<socket:[777]>, {sa_family=AF_UNIX, sun_path=@"dbus-session"}, 110) = -1 ECONNREFUSED (Connection refused) <0.000030>`,
+	`1  10:00:00.000005 connect(3<socket:[1]>, {Family: AF_INET, Addr: 8.8.8.8, Port: 53}, 16) = 0 <0.000030>`,
+	`1  10:00:00.000006 openat(5</data/>, "part\n\357\203\277.bin", O_RDONLY) = -1 ENOENT (No such file) <0.000004>`,
+	`1  10:00:00.000007 renameat2(5</stage>, "new.dat", 6</data>, "cur.dat", RENAME_EXCHANGE) = 0 <0.000008>`,
+	`1  10:00:00.000008 unlinkat(AT_FDCWD</home/u>, "stale.tmp", 0) = 0 <0.000004>`,
+	`1  10:00:00.000009 execveat(5</opt/tools>, "run.sh", ["run.sh", "--x=\"y\""], 0x7ffd00 /* 4 vars */, 0) = 0 <0.000100>`,
+	`1  10:00:00.000010 connect(3, {sa_family=AF_INET, sin_port=htons(`,
+}
+
+// FuzzBehaviorDecode: the semantic decoding layer — DecodeRecord over
+// every parsed record, behavior-profile folding over every parsed case —
+// must never panic on arbitrary trace text, and its invariants must hold:
+// a DecodeFile/DecodeSpawn result carries a path, unquote inverts Go
+// quoting, and a profile folded event-by-event matches FromLog.
+func FuzzBehaviorDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	for _, s := range behaviorFuzzSeeds {
+		f.Add(s)
+	}
+
+	id := trace.CaseID{CID: "fuzz", Host: "h", RID: 1}
+	f.Fuzz(func(t *testing.T, data string) {
+		// unquote must invert quoting for arbitrary byte strings.
+		if got, ok := unquote(strconv.Quote(data)); !ok || got != data {
+			t.Fatalf("unquote(Quote(%q)) = %q, %v", data, got, ok)
+		}
+		recs, _, err := ReadRecords(strings.NewReader(data), true)
+		if err != nil {
+			return
+		}
+		for _, r := range recs {
+			d := DecodeRecord(r)
+			switch d.Kind {
+			case DecodeFile, DecodeSpawn:
+				if d.Path == "" {
+					t.Fatalf("decoded %v with empty path from %+v", d.Kind, r)
+				}
+			}
+		}
+		c, err := ParseCase(id, strings.NewReader(data), Options{KeepFailed: true})
+		if err != nil || len(c.Events) == 0 {
+			return
+		}
+		p := behavior.New()
+		p.AddCase(c)
+		q := behavior.FromLog(trace.MustNewEventLog(c))
+		if p.RenderText() != q.RenderText() {
+			t.Fatal("per-case fold and FromLog disagree")
+		}
+		// Merging into an empty profile is the identity.
+		m := behavior.New()
+		m.Merge(p)
+		if m.RenderText() != p.RenderText() {
+			t.Fatal("merge into empty profile changed the rendering")
 		}
 	})
 }

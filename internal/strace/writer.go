@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"stinspector/internal/trace"
@@ -74,6 +75,27 @@ func (sw *Writer) WriteEvent(e trace.Event) {
 	case e.Call == "fsync" || e.Call == "fdatasync":
 		sw.printf("%d  %s %s(%d<%s>) = 0 <%s>\n",
 			e.PID, ts, e.Call, sw.fd(e.FP), e.FP, dur)
+	case e.Call == "unlink" || e.Call == "rmdir":
+		sw.printf("%d  %s %s(%q) = 0 <%s>\n", e.PID, ts, e.Call, e.FP, dur)
+	case e.Call == "unlinkat":
+		sw.printf("%d  %s unlinkat(AT_FDCWD, %q, 0) = 0 <%s>\n", e.PID, ts, e.FP, dur)
+	case e.Call == "mkdir":
+		sw.printf("%d  %s mkdir(%q, 0755) = 0 <%s>\n", e.PID, ts, e.FP, dur)
+	case e.Call == "truncate":
+		sw.printf("%d  %s truncate(%q, 0) = 0 <%s>\n", e.PID, ts, e.FP, dur)
+	case e.Call == "rename":
+		// The semantic decoder takes the source path as the subject, so
+		// any destination round-trips; render the conventional backup
+		// name.
+		sw.printf("%d  %s rename(%q, %q) = 0 <%s>\n", e.PID, ts, e.FP, e.FP+"~", dur)
+	case e.Call == "execve":
+		// The spawn subject is "path arg1 arg2 …" with argv[0] skipped,
+		// so writing the whole FP as the path and the program basename
+		// as argv[0] decodes back to exactly FP.
+		sw.printf("%d  %s execve(%q, [%q], 0x7ffce2f9d438) = 0 <%s>\n",
+			e.PID, ts, e.FP, argv0(e.FP), dur)
+	case e.Call == "connect":
+		sw.writeConnect(e, ts, dur)
 	case TransferCalls[e.Call]:
 		size := e.Size
 		if size < 0 {
@@ -85,6 +107,70 @@ func (sw *Writer) WriteEvent(e trace.Event) {
 		sw.printf("%d  %s %s(%d<%s>) = 0 <%s>\n",
 			e.PID, ts, e.Call, sw.fd(e.FP), e.FP, dur)
 	}
+}
+
+// writeConnect renders a connect record whose sockaddr struct literal
+// decodes back to exactly e.FP under the semantic decoder: "ip:port"
+// becomes an AF_INET struct, "[addr]:port" an AF_INET6 struct, anything
+// else an AF_UNIX socket path (a leading '@' marks it abstract).
+func (sw *Writer) writeConnect(e trace.Event, ts, dur string) {
+	fd := sw.fd(e.FP)
+	host, port, v6, ok := splitSubject(e.FP)
+	switch {
+	case ok && v6:
+		sw.printf("%d  %s connect(%d<socket:[%d]>, {sa_family=AF_INET6, sin6_port=htons(%s), sin6_flowinfo=htonl(0), inet_pton(AF_INET6, %q, &sin6_addr), sin6_scope_id=0}, 28) = 0 <%s>\n",
+			e.PID, ts, fd, fd, port, host, dur)
+	case ok:
+		sw.printf("%d  %s connect(%d<socket:[%d]>, {sa_family=AF_INET, sin_port=htons(%s), sin_addr=inet_addr(%q)}, 16) = 0 <%s>\n",
+			e.PID, ts, fd, fd, port, host, dur)
+	case strings.HasPrefix(e.FP, "@"):
+		sw.printf("%d  %s connect(%d<socket:[%d]>, {sa_family=AF_UNIX, sun_path=@%q}, 110) = 0 <%s>\n",
+			e.PID, ts, fd, fd, e.FP[1:], dur)
+	default:
+		sw.printf("%d  %s connect(%d<socket:[%d]>, {sa_family=AF_UNIX, sun_path=%q}, 110) = 0 <%s>\n",
+			e.PID, ts, fd, fd, e.FP, dur)
+	}
+}
+
+// splitSubject splits a canonical connection subject back into host and
+// port: "1.2.3.4:443" or "[2001:db8::1]:443". Subjects that are not in
+// either form (unix socket paths) report ok == false.
+func splitSubject(fp string) (host, port string, v6, ok bool) {
+	if strings.HasPrefix(fp, "[") {
+		if i := strings.Index(fp, "]:"); i > 0 && allDigits(fp[i+2:]) {
+			return fp[1:i], fp[i+2:], true, true
+		}
+		return "", "", false, false
+	}
+	i := strings.LastIndexByte(fp, ':')
+	if i <= 0 || !allDigits(fp[i+1:]) || strings.IndexByte(fp, '/') >= 0 {
+		return "", "", false, false
+	}
+	return fp[:i], fp[i+1:], false, true
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// argv0 derives the conventional argv[0] — the program basename — from a
+// spawn subject ("path arg1 …").
+func argv0(fp string) string {
+	if i := strings.IndexByte(fp, ' '); i >= 0 {
+		fp = fp[:i]
+	}
+	if i := strings.LastIndexByte(fp, '/'); i >= 0 {
+		fp = fp[i+1:]
+	}
+	return fp
 }
 
 // WriteUnfinishedPair renders an event as an unfinished/resumed record

@@ -77,6 +77,11 @@ var registry = []Profile{
 		Desc: "interleaved per-tenant sessions with disjoint path vocabularies (the stserve shape)",
 		gen:  multitenant,
 	},
+	{
+		Name: "behavior",
+		Desc: "file-lifecycle, spawn and connect mix driving the semantic decoders (behavior-profile stress)",
+		gen:  behaviorMix,
+	},
 }
 
 // All returns every profile in canonical order. The slice is fresh;
@@ -373,6 +378,51 @@ func multitenant(cid string, nCases, perCase int, seed int64) *trace.EventLog {
 			Start: start,
 			Dur:   time.Duration(5+rng.Intn(300)) * time.Microsecond,
 			FP:    fmt.Sprintf("/tenant%d/sess%03d/f%04d.dat", t, c, rng.Intn(perCase/2+1)),
+			Size:  sizeFor(rng, call),
+		}
+	})
+}
+
+// behaviorCallMix is the call cycle of the behavior profile: the file
+// lifecycle, spawn and connect calls the semantic decoding layer
+// classifies, plus the transfer calls that keep the DXT trip populated.
+// Every entry is inside strace.IOCalls ∪ strace.BehaviorCalls, so the
+// log survives ParseCase with default Options without dropping events.
+var behaviorCallMix = []string{"openat", "read", "write", "unlink", "rename", "execve", "connect", "close"}
+
+// behaviorMix exercises the semantic decoders end to end: unlink and
+// rename records over the per-rank data files, execve records naming a
+// small tool vocabulary, and connect records across IPv4, IPv6 and unix
+// socket subjects. The strace writer renders each of these in realistic
+// argument form (sockaddr structs, argv arrays), so the profile's
+// round trip is what pins the decoder ↔ writer agreement.
+func behaviorMix(cid string, nCases, perCase int, seed int64) *trace.EventLog {
+	return generate(cid, nCases, perCase, seed, hostID(cid), func(rng *rand.Rand, c, i int) trace.Event {
+		call := behaviorCallMix[(c+i)%len(behaviorCallMix)]
+		start := time.Duration(i*1400+rng.Intn(1400)) * time.Microsecond
+		var fp string
+		switch call {
+		case "execve":
+			fp = fmt.Sprintf("/usr/bin/tool%02d", rng.Intn(12))
+		case "connect":
+			switch rng.Intn(5) {
+			case 0:
+				fp = fmt.Sprintf("/run/svc%d.sock", rng.Intn(4))
+			case 1:
+				fp = fmt.Sprintf("[2001:db8::%x]:443", 1+rng.Intn(15))
+			default:
+				ports := []int{443, 80, 8080}
+				fp = fmt.Sprintf("10.0.%d.%d:%d", c%4, rng.Intn(32), ports[rng.Intn(len(ports))])
+			}
+		default:
+			fp = fmt.Sprintf("/app/data/rank%03d/f%02d.dat", c, rng.Intn(24))
+		}
+		return trace.Event{
+			PID:   10000 + c,
+			Call:  call,
+			Start: start,
+			Dur:   time.Duration(5+rng.Intn(300)) * time.Microsecond,
+			FP:    fp,
 			Size:  sizeFor(rng, call),
 		}
 	})

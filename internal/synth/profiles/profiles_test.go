@@ -28,7 +28,7 @@ func renderLog(l *trace.EventLog) string {
 
 func TestRegistry(t *testing.T) {
 	names := profiles.Names()
-	want := []string{"baseline", "heavytail", "burst", "hostileargs", "widevocab", "multitenant"}
+	want := []string{"baseline", "heavytail", "burst", "hostileargs", "widevocab", "multitenant", "behavior"}
 	if len(names) != len(want) {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}
@@ -91,6 +91,9 @@ func TestProfileShape(t *testing.T) {
 	ioCalls := map[string]bool{
 		"read": true, "write": true, "pread64": true, "pwrite64": true,
 		"openat": true, "lseek": true, "fsync": true, "close": true,
+		// The behavior profile adds the semantic-decoder call classes,
+		// all inside the strace.BehaviorCalls extraction defaults.
+		"unlink": true, "rename": true, "execve": true, "connect": true,
 	}
 	for _, p := range profiles.All() {
 		t.Run(p.Name, func(t *testing.T) {

@@ -124,7 +124,7 @@ func TestLiveKillRestartEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantArt := artifacts(want.ActivityLog, want.DFG, want.Stats)
+	wantArt := artifacts(want.ActivityLog, want.DFG, want.Stats, want.Behavior)
 
 	// Ground truth #2: an uninterrupted session over the same churned
 	// replay — the served artifacts the killed run must reproduce.
@@ -146,7 +146,7 @@ func TestLiveKillRestartEquivalence(t *testing.T) {
 		t.Fatalf("uninterrupted run folded %d cases / %d events, want %d / %d",
 			refRes.Cases, refRes.Events, nCases, log.NumEvents())
 	}
-	if got := artifacts(refRes.ActivityLog, refRes.DFG, refRes.Stats); got != wantArt {
+	if got := artifacts(refRes.ActivityLog, refRes.DFG, refRes.Stats, refRes.Behavior); got != wantArt {
 		t.Fatalf("uninterrupted live artifacts differ from the batch fold.\n--- live ---\n%s\n--- batch ---\n%s", got, wantArt)
 	}
 	refArt := sessionArtifacts(t, refSess)
@@ -200,7 +200,7 @@ func TestLiveKillRestartEquivalence(t *testing.T) {
 	if info := sess.Info(); info.Shed != 0 {
 		t.Errorf("blocking session shed %d cases", info.Shed)
 	}
-	if got := artifacts(res.ActivityLog, res.DFG, res.Stats); got != wantArt {
+	if got := artifacts(res.ActivityLog, res.DFG, res.Stats, res.Behavior); got != wantArt {
 		t.Errorf("kill-restart artifacts differ from the batch fold.\n--- killed ---\n%s\n--- batch ---\n%s", got, wantArt)
 	}
 	if got := sessionArtifacts(t, sess); got != refArt {

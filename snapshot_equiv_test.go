@@ -61,7 +61,7 @@ func snapshotMergeCheck(t *testing.T, kind string, el *EventLog, want string, op
 			if err != nil {
 				t.Fatalf("%s shards=%d scoped=%v merge: %v", kind, shards, scoped, err)
 			}
-			if got := artifacts(res.ActivityLog, res.DFG, res.Stats); got != want {
+			if got := artifacts(res.ActivityLog, res.DFG, res.Stats, res.Behavior); got != want {
 				t.Errorf("%s: merged snapshot artifacts differ from in-memory at shards=%d scoped=%v.\n--- merged ---\n%s\n--- in-memory ---\n%s",
 					kind, shards, scoped, got, want)
 			}
@@ -162,7 +162,7 @@ func TestSnapshotResumeEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := artifacts(full.ActivityLog, full.DFG, full.Stats); got != want {
+		if got := artifacts(full.ActivityLog, full.DFG, full.Stats, full.Behavior); got != want {
 			t.Fatalf("every=%d: checkpointed artifacts differ from in-memory", every)
 		}
 		refBytes, err := os.ReadFile(filepath.Join(ref, "checkpoint.sts"))
@@ -186,7 +186,7 @@ func TestSnapshotResumeEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("every=%d kill=%d resume: %v", every, kill, err)
 			}
-			if got := artifacts(res.ActivityLog, res.DFG, res.Stats); got != want {
+			if got := artifacts(res.ActivityLog, res.DFG, res.Stats, res.Behavior); got != want {
 				t.Errorf("every=%d kill=%d: resumed artifacts differ from in-memory", every, kill)
 			}
 			gotBytes, err := os.ReadFile(filepath.Join(dir, "checkpoint.sts"))

@@ -25,6 +25,7 @@ import (
 	"io"
 
 	"stinspector/internal/archive"
+	"stinspector/internal/behavior"
 	"stinspector/internal/core"
 	"stinspector/internal/dfg"
 	"stinspector/internal/dxt"
@@ -75,6 +76,19 @@ type (
 	PrefixVar = pm.PrefixVar
 	// ActivityLog is the multiset of activity traces L_f(C).
 	ActivityLog = pm.Log
+)
+
+// Behavior layer: the fourth mergeable aggregate, derived from the
+// semantic syscall decoding of internal/strace/decode.go.
+type (
+	// BehaviorProfile holds per-case and merged behavior profiles —
+	// files opened/read/written/deleted/renamed, commands executed,
+	// network endpoints contacted — with an exact Merge.
+	BehaviorProfile = behavior.Profile
+	// BehaviorCaseProfile is the queryable per-case (or merged) view.
+	BehaviorCaseProfile = behavior.CaseProfile
+	// BehaviorEntry is one subject of a case profile with its count.
+	BehaviorEntry = behavior.Entry
 )
 
 // Virtual start/end activities of every trace.

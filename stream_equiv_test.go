@@ -3,7 +3,8 @@ package stinspector
 // Streaming/in-memory equivalence properties: for synth-generated trace
 // directories, STA archives and DXT dumps, the streaming pipeline's
 // activity-log (variants, multiplicities and case lists), DFG,
-// footprint matrix and all four Section IV-B statistics must be
+// footprint matrix, behavior profile and all four Section IV-B
+// statistics must be
 // byte-identical to the in-memory pipeline at ingestion parallelism 1,
 // 4 and GOMAXPROCS × analysis shards 1, 4 and GOMAXPROCS — the
 // acceptance bar of the streaming and sharded-analysis refactors. The
@@ -39,10 +40,10 @@ func equivParallelisms() []int {
 }
 
 // artifacts serializes the full synthesis output — activity-log with
-// per-variant case lists, DFG listing, footprint matrix, and the four
-// per-activity statistics at full float precision — into one comparable
-// string.
-func artifacts(l *ActivityLog, g *DFG, st *Stats) string {
+// per-variant case lists, DFG listing, footprint matrix, behavior
+// profile, and the four per-activity statistics at full float precision
+// — into one comparable string.
+func artifacts(l *ActivityLog, g *DFG, st *Stats, bh *BehaviorProfile) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "log traces=%d variants=%d mapped=%d unmapped=%d\n",
 		l.NumTraces(), l.NumVariants(), l.MappedEvents(), l.UnmappedEvents())
@@ -51,6 +52,7 @@ func artifacts(l *ActivityLog, g *DFG, st *Stats) string {
 	}
 	b.WriteString(RenderText(g, st, nil))
 	b.WriteString(NewFootprint(g).String())
+	b.WriteString(bh.RenderText())
 	for _, a := range st.Activities() {
 		s := st.Get(a)
 		fmt.Fprintf(&b, "%s events=%d totaldur=%d reldur=%s bytes=%d/%v procrate=%s maxconc=%d\n",
@@ -66,7 +68,7 @@ func artifacts(l *ActivityLog, g *DFG, st *Stats) string {
 // inMemoryArtifacts runs the materialized pipeline over an event-log.
 func inMemoryArtifacts(el *EventLog) string {
 	in := FromEventLog(el)
-	return artifacts(in.ActivityLog(), in.DFG(), in.Stats())
+	return artifacts(in.ActivityLog(), in.DFG(), in.Stats(), in.Behavior())
 }
 
 // streamArtifacts runs the bounded-memory pipeline over a source with
@@ -78,7 +80,7 @@ func streamArtifacts(t *testing.T, src Source, shards int, joinErrors bool) stri
 	if err != nil {
 		t.Fatal(err)
 	}
-	return artifacts(res.ActivityLog, res.DFG, res.Stats)
+	return artifacts(res.ActivityLog, res.DFG, res.Stats, res.Behavior)
 }
 
 // equivCheck compares the streaming artifacts against the in-memory
